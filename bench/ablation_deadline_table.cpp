@@ -1,0 +1,106 @@
+// Ablation A1: lookup-table fidelity and cost.
+//
+// The paper replaces runtime evaluation of the safe-interval map phi with a
+// precomputed lookup table T(x,u) (section IV-C).  This ablation quantifies
+// (a) the interpolation error of T against the exact closed-form
+// certificate across grid resolutions, and (b) the conservatism of the
+// Lipschitz certificate against the numerical rollout phi of eq. (3).
+#include <chrono>
+
+#include "common.hpp"
+#include "safety/deadline_table.hpp"
+
+int main() {
+  using namespace seo;
+  bench::print_banner(
+      "ablation_deadline_table", "design choice: T(x,u) proxy (paper IV-C)",
+      "interpolation error + probe cost vs. grid resolution; certificate "
+      "conservatism vs. rollout phi");
+
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval exact(LipschitzIntervalConfig{}, barrier);
+
+  TextTable table("Lookup-table resolution vs. exact certificate");
+  table.set_header({"grid (d x chi x v)", "cells", "max |err| [ms]",
+                    "mean |err| [ms]", "probe [ns]", "build [ms]"});
+
+  Rng rng(99);
+  for (const int res : {6, 11, 21, 41, 81}) {
+    DeadlineTableConfig tc;
+    tc.distance_bins = res;
+    tc.bearing_bins = res;
+    tc.speed_bins = std::max(res / 4, 3);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const DeadlineTable table_proxy(tc, exact, BarrierConfig{}.body_radius);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Random probes inside the domain, compared to the exact evaluator on a
+    // reconstructed virtual obstacle.
+    double max_err = 0.0, sum_err = 0.0;
+    const int probes = 20000;
+    for (int i = 0; i < probes; ++i) {
+      const double d = rng.uniform(0.2, tc.max_distance - 0.2);
+      const double chi = rng.uniform(-3.0, 3.0);
+      const double v = rng.uniform(0.2, tc.max_speed - 0.2);
+      VehicleState s;
+      s.speed = v;
+      const Obstacle o{Vec2::from_polar(
+                           d + tc.obstacle_radius + BarrierConfig{}.body_radius,
+                           chi),
+                       tc.obstacle_radius};
+      const ObstacleField field({o});
+      const double truth = exact.evaluate(s, Control{}, field).delta_max_s;
+      const double approx = table_proxy.sample(d, chi, v);
+      const double err = std::abs(truth - approx);
+      max_err = std::max(max_err, err);
+      sum_err += err;
+    }
+
+    // Probe latency.
+    const auto t2 = std::chrono::steady_clock::now();
+    volatile double sink = 0.0;
+    const int timing_probes = 200000;
+    for (int i = 0; i < timing_probes; ++i)
+      sink = sink + table_proxy.sample(12.0 + (i % 7), 0.3, 8.0);
+    const auto t3 = std::chrono::steady_clock::now();
+
+    const double build_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double probe_ns =
+        std::chrono::duration<double, std::nano>(t3 - t2).count() /
+        timing_probes;
+    table.add_row({std::to_string(res) + "x" + std::to_string(res) + "x" +
+                       std::to_string(tc.speed_bins),
+                   std::to_string(table_proxy.cell_count()),
+                   fmt_double(max_err * 1e3, 3), fmt_double(sum_err / probes * 1e3, 3),
+                   fmt_double(probe_ns, 0), fmt_double(build_ms, 1)});
+  }
+  std::cout << table.render() << "\n";
+
+  // Certificate conservatism: Lipschitz bound vs. rollout phi.
+  const RolloutSafeInterval rollout(RolloutIntervalConfig{}, BicycleModel{},
+                                    barrier);
+  TextTable cons("Certificate conservatism: Delta_max(Lipschitz) vs. rollout "
+                 "phi (head-on approach, v = 8.5 m/s)");
+  cons.set_header({"clearance d [m]", "Lipschitz [ms]", "rollout [ms]",
+                   "ratio"});
+  for (const double d : {3.0, 5.0, 8.0, 12.0, 20.0, 30.0}) {
+    VehicleState s;
+    s.speed = 8.5;
+    const Obstacle o{Vec2{d + 0.8 + 0.9, 0.0}, 0.8};
+    const ObstacleField field({o});
+    const double lip = exact.evaluate(s, Control{}, field).delta_max_s;
+    const double rol =
+        rollout.evaluate(s, Control{0.0, 0.3}, field).delta_max_s;
+    cons.add_row({fmt_double(d, 1), fmt_double(lip * 1e3, 1),
+                  fmt_double(rol * 1e3, 1),
+                  fmt_double(rol > 0 ? lip / rol : 0.0, 3)});
+  }
+  std::cout << cons.render() << "\n";
+  std::cout << "Expected: interpolation error shrinks with resolution while "
+               "probe cost stays flat\n(table probing is O(1)); the "
+               "certificate is strictly more conservative than the\nrollout "
+               "(ratio < 1), which is the price of control-independence.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A8: edge-server capacity — queueing effects on offloading.
+//
+// With an explicit server model, burst arrivals (both detectors offloading
+// in the same base period) serialize on the inference workers.  Scarce
+// capacity inflates response times past delta-hat, triggering fallbacks
+// and admission shedding; the guarantee is preserved, the energy gain is
+// not.
+#include "common.hpp"
+
+int main() {
+  using namespace seo;
+  bench::print_banner(
+      "ablation_edge_server", "extends paper V-A (server response times)",
+      "offload mode, filtered, 2 obstacles; server service time and worker "
+      "count swept");
+
+  TextTable table("Offloading vs. edge-server capacity");
+  table.set_header({"service [ms]", "workers", "combined gain", "applied",
+                    "fallbacks", "collided"});
+
+  struct ServerCase {
+    double service_ms;
+    int workers;
+  };
+  const ServerCase cases[] = {
+      {3.0, 4}, {5.0, 2}, {5.0, 1}, {10.0, 2}, {10.0, 1}, {16.0, 1},
+  };
+
+  for (const auto& sc : cases) {
+    ScenarioConfig config =
+        bench::scenario(OptimizerMode::kOffload, /*filtered=*/true, 2);
+    config.use_edge_server = true;
+    config.edge_server.service_time_s = sc.service_ms * 1e-3;
+    config.edge_server.parallelism = sc.workers;
+    config.edge_server.queue_capacity = 8;
+    const ExperimentResult r = bench::run(config);
+
+    std::uint64_t applied = 0, fallbacks = 0;
+    for (const auto& p : r.pipelines) {
+      applied += p.offload_applied;
+      fallbacks += p.offload_fallbacks;
+    }
+    table.add_row({
+        fmt_double(sc.service_ms, 0),
+        std::to_string(sc.workers),
+        fmt_percent(bench::combined_gain(r, config.platform)),
+        std::to_string(applied),
+        std::to_string(fallbacks),
+        std::to_string(r.collisions),
+    });
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Expected: gains degrade gracefully as the server gets "
+               "slower/narrower; fallbacks\nabsorb the misses; zero "
+               "collisions at every capacity.\n";
+  return 0;
+}

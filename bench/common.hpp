@@ -1,0 +1,59 @@
+// Shared helpers for the bench harness binaries.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "energy/report.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+namespace seo::bench {
+
+/// Number of successful episodes each experiment aggregates (paper: "the
+/// average from 25 test runs in which the agent successfully completed the
+/// route").
+inline constexpr int kEpisodes = 25;
+inline constexpr std::uint64_t kBaseSeed = 7000;
+
+/// Runs the standard experiment for a scenario.
+inline ExperimentResult run(const ScenarioConfig& scenario,
+                            int episodes = kEpisodes,
+                            std::uint64_t base_seed = kBaseSeed) {
+  ExperimentConfig config;
+  config.scenario = scenario;
+  config.episodes = episodes;
+  config.base_seed = base_seed;
+  return run_experiment(config);
+}
+
+/// Scenario with the given mode/filtering/risk on the default rig.
+inline ScenarioConfig scenario(OptimizerMode mode, bool filtered,
+                               int obstacles, double tau_s = 0.02) {
+  ScenarioConfig config = default_scenario(tau_s);
+  config.mode = mode;
+  config.filtered = filtered;
+  config.obstacle_count = obstacles;
+  return config;
+}
+
+/// Model-only gain of pipeline `i` (Fig. 5 / Tables I-II metric).
+inline double pipeline_gain(const ExperimentResult& r, std::size_t i,
+                            const PlatformPowerModel& pm) {
+  return r.pipeline_model_energy(i, pm).gain();
+}
+
+inline double combined_gain(const ExperimentResult& r,
+                            const PlatformPowerModel& pm) {
+  return r.combined_model_energy(pm).gain();
+}
+
+/// Header line every bench prints so outputs are self-describing.
+inline void print_banner(const std::string& id, const std::string& paper_ref,
+                         const std::string& setup) {
+  std::cout << "=== " << id << " — reproduces " << paper_ref << " ===\n"
+            << "setup: " << setup << "\n\n";
+}
+
+}  // namespace seo::bench

@@ -1,0 +1,45 @@
+// Figure 1 (motivational example): normalized ADS energy consumption of
+// two object detectors (50 Hz and 25 Hz) under SEO's safety-aware gating,
+// across test runs with different numbers of obstacles.  Full operation
+// (always-local) is the 1.0 reference; higher perceived risk (more
+// obstacles) pulls the safe dynamic deadline down and normalized energy up.
+#include "common.hpp"
+
+int main() {
+  using namespace seo;
+  bench::print_banner(
+      "fig1_motivation", "paper Fig. 1",
+      "safety-aware gating; 50 Hz (p=tau) and 25 Hz (p=2tau) ResNet-152 "
+      "detectors; tau=20 ms; unfiltered control; obstacles 0..6");
+
+  TextTable table("Normalized energy vs. full operation (1.0)");
+  table.set_header({"#obstacles", "50 Hz model", "25 Hz model", "combined",
+                    "avg delta_max"});
+
+  std::vector<std::pair<std::string, double>> series_fast;
+  std::vector<std::pair<std::string, double>> series_slow;
+
+  for (int obstacles = 0; obstacles <= 6; ++obstacles) {
+    const ScenarioConfig config =
+        bench::scenario(OptimizerMode::kGating, /*filtered=*/false, obstacles);
+    const ExperimentResult r = bench::run(config);
+    const auto& pm = config.platform;
+    const double fast = r.pipeline_model_energy(0, pm).normalized();
+    const double slow = r.pipeline_model_energy(1, pm).normalized();
+    table.add_row({std::to_string(obstacles), fmt_double(fast, 3),
+                   fmt_double(slow, 3),
+                   fmt_double(r.combined_model_energy(pm).normalized(), 3),
+                   fmt_double(r.mean_delta_max(), 2)});
+    series_fast.emplace_back("obst=" + std::to_string(obstacles), fast);
+    series_slow.emplace_back("obst=" + std::to_string(obstacles), slow);
+  }
+
+  std::cout << table.render() << "\n";
+  std::cout << "50 Hz model, normalized energy (increasing risk ->)\n"
+            << render_bar_chart(series_fast) << "\n";
+  std::cout << "25 Hz model, normalized energy (increasing risk ->)\n"
+            << render_bar_chart(series_slow) << "\n";
+  std::cout << "Expected shape (paper Fig. 1): normalized energy rises with "
+               "risk; the faster\nmodel gains more headroom at low risk.\n";
+  return 0;
+}

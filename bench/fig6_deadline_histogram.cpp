@@ -1,0 +1,40 @@
+// Figure 6: histogram of the sampled discretized deadlines delta_max in the
+// unfiltered control case when varying the number of obstacles, for
+// offloading (left) and model gating (right), with the average energy
+// efficiency over the two detectors annotated per risk level.
+#include "common.hpp"
+
+int main() {
+  using namespace seo;
+  bench::print_banner(
+      "fig6_deadline_histogram", "paper Fig. 6",
+      "unfiltered control; tau=20 ms; obstacles in {0, 2, 4}; histogram of "
+      "sampled delta_max per interval");
+
+  for (const auto mode : {OptimizerMode::kOffload, OptimizerMode::kGating}) {
+    std::cout << "--- " << to_string(mode) << " ---\n";
+    for (const int obstacles : {0, 2, 4}) {
+      const ScenarioConfig config =
+          bench::scenario(mode, /*filtered=*/false, obstacles);
+      const ExperimentResult r = bench::run(config);
+      const auto& pm = config.platform;
+
+      std::vector<std::pair<std::string, double>> freq;
+      for (int d = 1; d <= config.deadline_cap; ++d)
+        freq.emplace_back("delta_max=" + std::to_string(d),
+                          r.deadline_hist.frequency(d));
+      std::cout << "#obstacles=" << obstacles << "  avg efficiency="
+                << fmt_percent(bench::combined_gain(r, pm))
+                << "  avg delta_max=" << fmt_double(r.mean_delta_max(), 2)
+                << "\n"
+                << render_bar_chart(freq) << "\n";
+    }
+  }
+  std::cout
+      << "Paper reference (Fig. 6): delta_max=4 frequency falls as obstacles "
+         "increase\n(33.3% -> 6.48% -> 2.3% for gating); avg efficiency "
+         "88.6/24.6/16.8% (offload),\n42.9/17.5/11.9% (gating).  Expected "
+         "shape: histogram mass shifts to lower\ndelta_max with more "
+         "obstacles; efficiency drops accordingly.\n";
+  return 0;
+}

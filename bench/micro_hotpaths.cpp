@@ -1,0 +1,149 @@
+// Ablation A5: microbenchmarks of the runtime hot paths (google-benchmark).
+//
+// The lookup-table probe is the operation Algorithm 1 performs at every
+// interval start on the real-time control path; the paper's argument for
+// T(x,u) is precisely that probing is cheap relative to evaluating phi.
+#include <benchmark/benchmark.h>
+
+#include "control/hybrid_policy.hpp"
+#include "dynamics/bicycle.hpp"
+#include "safety/deadline_table.hpp"
+#include "safety/safe_interval.hpp"
+#include "safety/safety_filter.hpp"
+#include "sensors/detector.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace seo;
+
+ObstacleField test_field() {
+  return ObstacleField({Obstacle{{20.0, 1.0}, 0.8},
+                        Obstacle{{32.0, -1.2}, 0.8},
+                        Obstacle{{45.0, 0.5}, 0.8}});
+}
+
+VehicleState test_state() {
+  VehicleState s;
+  s.position = {10.0, 0.2};
+  s.heading = 0.05;
+  s.speed = 8.5;
+  return s;
+}
+
+void BM_BicycleStepRk4(benchmark::State& state) {
+  const BicycleModel model;
+  VehicleState s = test_state();
+  const Control u{0.1, 0.4};
+  for (auto _ : state) {
+    s = model.step(s, u, 0.005);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_BicycleStepRk4);
+
+void BM_BicycleStepEuler(benchmark::State& state) {
+  const BicycleModel model;
+  VehicleState s = test_state();
+  const Control u{0.1, 0.4};
+  for (auto _ : state) {
+    s = model.step_euler(s, u, 0.005);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_BicycleStepEuler);
+
+void BM_BarrierValue(benchmark::State& state) {
+  const Barrier barrier{BarrierConfig{}};
+  const ObstacleField field = test_field();
+  const VehicleState s = test_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(barrier.value(s, field));
+  }
+}
+BENCHMARK(BM_BarrierValue);
+
+void BM_LipschitzInterval(benchmark::State& state) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval eval(LipschitzIntervalConfig{}, barrier);
+  const ObstacleField field = test_field();
+  const VehicleState s = test_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(s, Control{}, field));
+  }
+}
+BENCHMARK(BM_LipschitzInterval);
+
+void BM_RolloutInterval(benchmark::State& state) {
+  const Barrier barrier{BarrierConfig{}};
+  const RolloutSafeInterval eval(RolloutIntervalConfig{}, BicycleModel{},
+                                 barrier);
+  const ObstacleField field = test_field();
+  const VehicleState s = test_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(s, Control{0.0, 0.3}, field));
+  }
+}
+BENCHMARK(BM_RolloutInterval);
+
+void BM_DeadlineTableProbe(benchmark::State& state) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  const DeadlineTable table(DeadlineTableConfig{}, source,
+                            BarrierConfig{}.body_radius);
+  const ObstacleField field = test_field();
+  const VehicleState s = test_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.evaluate(s, Control{}, field));
+  }
+}
+BENCHMARK(BM_DeadlineTableProbe);
+
+void BM_SafetyFilterPass(benchmark::State& state) {
+  const Barrier barrier{BarrierConfig{}};
+  const SafetyFilter filter(SafetyFilterConfig{}, BicycleModel{}, barrier);
+  const ObstacleField field = test_field();
+  VehicleState s = test_state();
+  s.position = {0.0, 0.0};  // far from obstacles: pass-through path
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.filter(s, field, Control{0.0, 0.4}));
+  }
+}
+BENCHMARK(BM_SafetyFilterPass);
+
+void BM_SafetyFilterEngaged(benchmark::State& state) {
+  const Barrier barrier{BarrierConfig{}};
+  const SafetyFilter filter(SafetyFilterConfig{}, BicycleModel{}, barrier);
+  const ObstacleField field = test_field();
+  VehicleState s = test_state();
+  s.position = {16.5, 0.8};  // close + head-on: corrective search path
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.filter(s, field, Control{0.0, 0.4}));
+  }
+}
+BENCHMARK(BM_SafetyFilterEngaged);
+
+void BM_DetectorInference(benchmark::State& state) {
+  SyntheticDetector detector(DetectorConfig{}, Rng(7));
+  const ObstacleField field = test_field();
+  const VehicleState s = test_state();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(s, field, 0.0));
+  }
+}
+BENCHMARK(BM_DetectorInference);
+
+void BM_FullEpisode(benchmark::State& state) {
+  ScenarioConfig config = default_scenario();
+  config.obstacle_count = 2;
+  config.mode = OptimizerMode::kGating;
+  for (auto _ : state) {
+    config.seed = static_cast<std::uint64_t>(state.iterations());
+    benchmark::DoNotOptimize(run_episode(config));
+  }
+}
+BENCHMARK(BM_FullEpisode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Quickstart: assemble the paper's default rig (two ResNet-152 detector
+// pipelines at p = tau and p = 2*tau plus a critical state estimator),
+// drive the 100 m obstacle course once per optimization mode, and print
+// the energy gains SEO achieves under the formal safety deadline.
+//
+//   ./examples/quickstart [obstacles] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "energy/report.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const int obstacles = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 42;
+
+  seo::TextTable table("SEO quickstart: energy gains vs. always-local");
+  table.set_header({"mode", "filter", "p=tau gain", "p=2tau gain",
+                    "combined", "avg delta_max", "min h [m]", "collided"});
+
+  for (const auto mode : {seo::OptimizerMode::kGating,
+                          seo::OptimizerMode::kScaled,
+                          seo::OptimizerMode::kOffload}) {
+    for (const bool filtered : {false, true}) {
+      seo::ExperimentConfig config;
+      config.scenario = seo::default_scenario();
+      config.scenario.obstacle_count = obstacles;
+      config.scenario.mode = mode;
+      config.scenario.filtered = filtered;
+      config.episodes = 5;
+      config.base_seed = seed;
+
+      const seo::ExperimentResult r = seo::run_experiment(config);
+      const auto& pm = config.scenario.platform;
+      table.add_row({
+          seo::to_string(mode),
+          filtered ? "on" : "off",
+          seo::fmt_percent(r.pipeline_model_energy(0, pm).gain()),
+          seo::fmt_percent(r.pipeline_model_energy(1, pm).gain()),
+          seo::fmt_percent(r.combined_model_energy(pm).gain()),
+          seo::fmt_double(r.mean_delta_max(), 2),
+          seo::fmt_double(r.min_h.mean(), 2),
+          std::to_string(r.collisions),
+      });
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nEvery row preserved the formal safety deadline: the full\n"
+               "model was re-invoked no later than delta_max in every "
+               "constrained interval.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "control/hybrid_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+HybridPolicy::HybridPolicy(HybridPolicyConfig config, BicycleParams vehicle,
+                           Rng rng)
+    : config_(config), vehicle_(vehicle), rng_(rng) {
+  SEO_EXPECT(config_.lookahead > 0.0);
+  SEO_EXPECT(config_.target_speed > 0.0);
+  SEO_EXPECT(config_.avoid_range > 0.0);
+  SEO_EXPECT(config_.lateral_clearance > 0.0);
+  SEO_EXPECT(config_.min_speed_factor > 0.0 &&
+             config_.min_speed_factor <= 1.0);
+}
+
+double HybridPolicy::desired_lateral(const PolicyObservation& obs) const {
+  SEO_EXPECT(obs.road != nullptr);
+  // Collect every detection in the planning window ahead.
+  const double ego_x = obs.state.position.x;
+  std::vector<const Detection*> threats;
+  for (const auto& det : obs.detections) {
+    const double dx = det.position.x - ego_x;
+    if (dx >= -1.0 && dx <= config_.avoid_range) threats.push_back(&det);
+  }
+  if (threats.empty()) return 0.0;
+
+  // Candidate passing lines: the centerline plus a line `lateral_clearance`
+  // to either side of each threat.  Choose the candidate with the largest
+  // worst-case lateral separation from all threats (saturated at the
+  // desired clearance), preferring lines near the centerline on ties.
+  const double bound = obs.road->half_width() - config_.road_margin;
+  std::vector<double> candidates{0.0};
+  for (const auto* det : threats) {
+    candidates.push_back(
+        std::clamp(det->position.y + config_.lateral_clearance, -bound, bound));
+    candidates.push_back(
+        std::clamp(det->position.y - config_.lateral_clearance, -bound, bound));
+  }
+
+  // Side commitment: once the vehicle has committed to passing a nearby
+  // threat on one side, lines on the other side are unreachable without
+  // driving across the obstacle — block them.
+  const double ego_y = obs.state.position.y;
+  const double commit_dx = 1.5 * config_.lookahead;
+  auto blocked = [&](double y) {
+    for (const auto* det : threats) {
+      const double dx = det->position.x - ego_x;
+      if (dx > commit_dx) continue;
+      const double ty = det->position.y;
+      if ((ego_y - ty) * (y - ty) < 0.0) return true;
+    }
+    return false;
+  };
+
+  double best_y = 0.0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const double y : candidates) {
+    if (blocked(y)) continue;
+    double worst_sep = std::numeric_limits<double>::infinity();
+    for (const auto* det : threats)
+      worst_sep = std::min(worst_sep, std::abs(y - det->position.y));
+    const double score = std::min(worst_sep, config_.lateral_clearance) -
+                         0.02 * std::abs(y);
+    if (score > best_score) {
+      best_score = score;
+      best_y = y;
+    }
+  }
+  if (best_score == -std::numeric_limits<double>::infinity()) {
+    // Every line is blocked (threat dead ahead very close): hold the
+    // current lateral position and let the speed controller brake.
+    return ego_y;
+  }
+  return best_y;
+}
+
+double HybridPolicy::nearest_threat_dx(const PolicyObservation& obs) const {
+  double nearest = std::numeric_limits<double>::infinity();
+  const double ego_x = obs.state.position.x;
+  for (const auto& det : obs.detections) {
+    const double dx = det.position.x - ego_x;
+    if (dx < -0.5) continue;
+    // Only slow for obstacles near the vehicle's current lateral line.
+    if (std::abs(det.position.y - obs.state.position.y) >
+        config_.lateral_clearance)
+      continue;
+    nearest = std::min(nearest, dx);
+  }
+  return nearest;
+}
+
+Control HybridPolicy::act(const PolicyObservation& obs) {
+  SEO_EXPECT(obs.road != nullptr);
+  // Pure pursuit toward a lookahead point on the chosen passing line.
+  const double target_y = desired_lateral(obs);
+  const Vec2 target{
+      obs.road->progress(obs.state.position) + config_.lookahead, target_y};
+  const Vec2 rel = target - obs.state.position;
+  const double alpha = wrap_angle(rel.angle() - obs.state.heading);
+  const double wheelbase = vehicle_.wheelbase_front + vehicle_.wheelbase_rear;
+  const double ld = std::max(rel.norm(), 1e-3);
+
+  Control u;
+  u.steering = std::atan(2.0 * wheelbase * std::sin(alpha) / ld);
+  if (config_.steer_noise > 0.0)
+    u.steering += rng_.gaussian(0.0, config_.steer_noise);
+  u.steering = std::clamp(u.steering, -vehicle_.max_steer, vehicle_.max_steer);
+
+  // Speed target shrinks as corridor-blocking obstacles get close.
+  double target_speed = config_.target_speed;
+  const double ahead = nearest_threat_dx(obs);
+  if (ahead < config_.slow_range) {
+    const double factor =
+        config_.min_speed_factor +
+        (1.0 - config_.min_speed_factor) *
+            std::max(ahead, 0.0) / config_.slow_range;
+    target_speed *= factor;
+  }
+  u.throttle = std::clamp(
+      config_.speed_gain * (target_speed - obs.state.speed), -1.0, 1.0);
+  return u;
+}
+
+}  // namespace seo

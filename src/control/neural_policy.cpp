@@ -1,0 +1,68 @@
+#include "control/neural_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+nn::MlpConfig NeuralPolicy::make_config(const NeuralPolicyConfig& config) {
+  nn::MlpConfig mc;
+  mc.sizes = {feature_count(), config.hidden, config.hidden, 2};
+  mc.hidden_act = nn::Activation::kTanh;
+  mc.output_act = nn::Activation::kTanh;
+  return mc;
+}
+
+NeuralPolicy::NeuralPolicy(NeuralPolicyConfig config, BicycleParams vehicle,
+                           Rng& rng)
+    : config_(config), vehicle_(vehicle), network_(make_config(config)) {
+  network_.init_xavier(rng);
+}
+
+NeuralPolicy::NeuralPolicy(NeuralPolicyConfig config, BicycleParams vehicle,
+                           nn::Mlp network)
+    : config_(config), vehicle_(vehicle), network_(std::move(network)) {
+  SEO_EXPECT(network_.input_size() == feature_count());
+  SEO_EXPECT(network_.output_size() == 2);
+}
+
+nn::Vector NeuralPolicy::features(const PolicyObservation& obs) const {
+  SEO_EXPECT(obs.road != nullptr);
+  // Nearest detection (range + bearing); sentinel when none.
+  double range = config_.sensing_norm;
+  double bearing = 0.0;
+  for (const auto& det : obs.detections) {
+    const Vec2 rel = det.position - obs.state.position;
+    const double r = rel.norm() - det.radius;
+    if (r < range) {
+      range = r;
+      bearing = wrap_angle(rel.angle() - obs.state.heading);
+    }
+  }
+  const double remaining =
+      obs.road->length() - obs.road->progress(obs.state.position);
+  return nn::Vector{
+      obs.state.position.y / obs.road->half_width(),
+      std::sin(obs.state.heading),
+      std::cos(obs.state.heading),
+      obs.state.speed / 10.0,
+      std::max(range, 0.0) / config_.sensing_norm,
+      std::sin(bearing),
+      std::cos(bearing),
+      remaining / obs.road->length(),
+  };
+}
+
+Control NeuralPolicy::act(const PolicyObservation& obs) {
+  const nn::Vector out = network_.forward(features(obs));
+  SEO_ASSERT(out.size() == 2);
+  Control u;
+  u.steering = out[0] * vehicle_.max_steer;  // tanh output -> actuator range
+  u.throttle = std::clamp(out[1] * config_.max_throttle, -1.0, 1.0);
+  return u;
+}
+
+}  // namespace seo

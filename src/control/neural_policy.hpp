@@ -1,0 +1,48 @@
+// Neural driving policy: an MLP over hand-crafted features of the
+// observation, producing steering and throttle.  Together with the CEM
+// trainer (nn/cem.hpp) this reproduces the paper's "RL agent trained ... to
+// output steering and throttle control actions" end to end inside the repo
+// (examples/train_policy.cpp).
+#pragma once
+
+#include "control/policy.hpp"
+#include "dynamics/bicycle.hpp"
+#include "nn/mlp.hpp"
+
+namespace seo {
+
+struct NeuralPolicyConfig {
+  std::size_t hidden = 24;     ///< width of each of the two hidden layers
+  double max_throttle = 1.0;
+  double sensing_norm = 40.0;  ///< range normalization for features
+};
+
+class NeuralPolicy : public Policy {
+ public:
+  /// Builds the network (2 hidden tanh layers, tanh outputs scaled to the
+  /// actuator ranges), Xavier-initialized from `rng`.
+  NeuralPolicy(NeuralPolicyConfig config, BicycleParams vehicle, Rng& rng);
+  /// Wraps an existing (e.g. trained/loaded) network; its input size must
+  /// equal feature_count().
+  NeuralPolicy(NeuralPolicyConfig config, BicycleParams vehicle,
+               nn::Mlp network);
+
+  Control act(const PolicyObservation& obs) override;
+
+  /// Number of input features the policy consumes.
+  static std::size_t feature_count() { return 8; }
+  /// Feature extraction (public so the trainer and tests share it).
+  nn::Vector features(const PolicyObservation& obs) const;
+
+  nn::Mlp& network() { return network_; }
+  const nn::Mlp& network() const { return network_; }
+
+ private:
+  static nn::MlpConfig make_config(const NeuralPolicyConfig& config);
+
+  NeuralPolicyConfig config_;
+  BicycleParams vehicle_;
+  nn::Mlp network_;
+};
+
+}  // namespace seo

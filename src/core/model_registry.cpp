@@ -1,0 +1,44 @@
+#include "core/model_registry.hpp"
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+ModelRegistry::ModelRegistry(std::vector<PipelineConfig> pipelines,
+                             const TimeBase& time)
+    : pipelines_(std::move(pipelines)) {
+  SEO_EXPECT(!pipelines_.empty());
+  deltas_.reserve(pipelines_.size());
+  for (std::size_t i = 0; i < pipelines_.size(); ++i) {
+    const auto& p = pipelines_[i];
+    SEO_EXPECT(!p.name.empty());
+    SEO_EXPECT(p.sensor.period_s > 0.0);
+    // Schedulability: the model must fit its own sensor period, otherwise
+    // even full-capacity operation misses frames.
+    SEO_EXPECT(p.model.latency_s <= p.sensor.period_s);
+    deltas_.push_back(time.discretize_period(p.sensor.period_s));
+    if (p.criticality == Criticality::kOptimizable)
+      optimizable_.push_back(i);
+    else
+      critical_.push_back(i);
+  }
+}
+
+const PipelineConfig& ModelRegistry::at(std::size_t i) const {
+  SEO_EXPECT(i < pipelines_.size());
+  return pipelines_[i];
+}
+
+int ModelRegistry::delta(std::size_t i) const {
+  SEO_EXPECT(i < deltas_.size());
+  return deltas_[i];
+}
+
+std::vector<int> ModelRegistry::optimizable_deltas() const {
+  std::vector<int> out;
+  out.reserve(optimizable_.size());
+  for (const auto i : optimizable_) out.push_back(deltas_[i]);
+  return out;
+}
+
+}  // namespace seo

@@ -1,0 +1,56 @@
+// The model-set partition of the paper's section III-C / IV-A: the set
+// Lambda of sensory processing pipelines is split into the critical subset
+// Lambda'' (feeds the safety filter's state estimate; always full power)
+// and the optimizable subset Lambda' (eligible for energy optimizations
+// under the safety deadline).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/timebase.hpp"
+#include "sensors/sensor_spec.hpp"
+
+namespace seo {
+
+enum class Criticality {
+  kCritical,     ///< Lambda'': safety-state estimation; never optimized
+  kOptimizable,  ///< Lambda': optimizations regulated by the deadline
+};
+
+/// One sensory processing pipeline N_i: a sensor and its perception model.
+struct PipelineConfig {
+  std::string name;
+  SensorSpec sensor;
+  PerceptionModelSpec model;
+  Criticality criticality = Criticality::kOptimizable;
+};
+
+/// Validated registry of all pipelines with their discretized periods.
+class ModelRegistry {
+ public:
+  ModelRegistry(std::vector<PipelineConfig> pipelines, const TimeBase& time);
+
+  const std::vector<PipelineConfig>& pipelines() const { return pipelines_; }
+  std::size_t size() const { return pipelines_.size(); }
+  const PipelineConfig& at(std::size_t i) const;
+
+  /// Indices of the optimizable subset Lambda' (order preserved).
+  const std::vector<std::size_t>& optimizable() const { return optimizable_; }
+  /// Indices of the critical subset Lambda''.
+  const std::vector<std::size_t>& critical() const { return critical_; }
+
+  /// delta_i (eq. 4) for pipeline `i`.
+  int delta(std::size_t i) const;
+  /// delta_i for each optimizable pipeline, in optimizable() order.
+  std::vector<int> optimizable_deltas() const;
+
+ private:
+  std::vector<PipelineConfig> pipelines_;
+  std::vector<int> deltas_;
+  std::vector<std::size_t> optimizable_;
+  std::vector<std::size_t> critical_;
+};
+
+}  // namespace seo

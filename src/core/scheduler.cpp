@@ -1,0 +1,83 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+namespace seo {
+
+SeoScheduler::SeoScheduler(Config config, TimeBase time,
+                           std::vector<int> deltas)
+    : config_(config), time_(time), deltas_(std::move(deltas)) {
+  SEO_EXPECT(config_.deadline_cap >= 1);
+  SEO_EXPECT(!deltas_.empty());
+  for (const int d : deltas_) SEO_EXPECT(d >= 1);
+  deadline_slots_.resize(deltas_.size(), -1);
+  done_.resize(deltas_.size(), false);
+}
+
+int SeoScheduler::deadline_slot(int delta_i, int delta_max) {
+  SEO_EXPECT(delta_i >= 1);
+  SEO_EXPECT(delta_max >= 1);
+  if (delta_i >= delta_max) return -1;
+  return delta_i * ((delta_max - delta_i) / delta_i);
+}
+
+void SeoScheduler::start_interval(const DeadlineSample& sample) {
+  unconstrained_ = !sample.constrained;
+  if (unconstrained_) {
+    // Vacuous deadline: use the cap as the refresh period (the model set
+    // must still produce outputs; eq. (6) with delta_max = cap).
+    delta_max_ = config_.deadline_cap;
+  } else {
+    const int d = time_.discretize_deadline(sample.delta_max_s);
+    // delta_max = 0 (state already at the barrier boundary) clamps to 1:
+    // every model runs at full capacity (eq. 6 else-branch for all).
+    delta_max_ = std::clamp(d, 1, config_.deadline_cap);
+  }
+  n_ = 0;
+  for (std::size_t i = 0; i < deltas_.size(); ++i) {
+    deadline_slots_[i] = deadline_slot(deltas_[i], delta_max_);
+    done_[i] = false;
+  }
+}
+
+SeoScheduler::Tick SeoScheduler::tick(
+    const std::function<DeadlineSample()>& sample) {
+  Tick out;
+  if (need_new_interval_) {
+    start_interval(sample());
+    need_new_interval_ = false;
+    out.interval_started = true;
+  }
+  out.unconstrained = unconstrained_;
+  out.delta_max = delta_max_;
+  out.interval_tick = n_;
+  out.slots.resize(deltas_.size(), SlotKind::kNoFrame);
+
+  for (std::size_t i = 0; i < deltas_.size(); ++i) {
+    const int delta_i = deltas_[i];
+    if (n_ % delta_i != 0) continue;  // no sensor frame this tick
+
+    const int ds = deadline_slots_[i];
+    if (ds < 0) {
+      // delta_i >= delta_max: no optimization; natural-schedule local.
+      out.slots[i] = SlotKind::kMandatoryLocal;
+      done_[i] = true;
+    } else if (n_ < ds) {
+      out.slots[i] = SlotKind::kOptSlot;
+    } else if (n_ == ds) {
+      out.slots[i] = SlotKind::kDeadlineSlot;
+      done_[i] = true;
+    } else {
+      out.slots[i] = SlotKind::kPostDoneLocal;
+    }
+  }
+
+  // Algorithm 1 lines 22-23: all done -> sample a new deadline next tick.
+  if (std::all_of(done_.begin(), done_.end(), [](bool d) { return d; }))
+    need_new_interval_ = true;
+
+  ++n_;
+  return out;
+}
+
+}  // namespace seo

@@ -1,0 +1,80 @@
+#include "core/strategy.hpp"
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+namespace {
+void expect_opt_slot(const FrameContext& context) {
+  SEO_EXPECT(context.kind == SlotKind::kOptSlot);
+}
+void expect_deadline_slot(const FrameContext& context) {
+  SEO_EXPECT(context.kind == SlotKind::kDeadlineSlot);
+}
+}  // namespace
+
+FrameAction LocalOnlyStrategy::opt_slot(const FrameContext& context) const {
+  expect_opt_slot(context);
+  return FrameAction::kRunLocal;
+}
+
+FrameAction LocalOnlyStrategy::deadline_slot(
+    const FrameContext& context) const {
+  expect_deadline_slot(context);
+  return FrameAction::kRunLocal;
+}
+
+FrameAction GatingStrategy::opt_slot(const FrameContext& context) const {
+  expect_opt_slot(context);
+  return FrameAction::kGate;
+}
+
+FrameAction GatingStrategy::deadline_slot(const FrameContext& context) const {
+  expect_deadline_slot(context);
+  // Gating has no substitute output: the full model always runs here.
+  return FrameAction::kRunLocal;
+}
+
+FrameAction ScaledStrategy::opt_slot(const FrameContext& context) const {
+  expect_opt_slot(context);
+  return FrameAction::kRunScaled;
+}
+
+FrameAction ScaledStrategy::deadline_slot(const FrameContext& context) const {
+  expect_deadline_slot(context);
+  // The deadline slot demands full-fidelity state: full model.
+  return FrameAction::kRunLocal;
+}
+
+FrameAction OffloadStrategy::opt_slot(const FrameContext& context) const {
+  expect_opt_slot(context);
+  return context.offload_feasible ? FrameAction::kOffload
+                                  : FrameAction::kRunLocal;
+}
+
+FrameAction OffloadStrategy::deadline_slot(const FrameContext& context) const {
+  expect_deadline_slot(context);
+  if (!context.offload_feasible) return FrameAction::kRunLocal;
+  // Constrained intervals: Algorithm 1 lines 14-15 — the local model is
+  // invoked unconditionally to meet the safety deadline.
+  if (!context.unconstrained) return FrameAction::kRunLocal;
+  // Vacuous deadline: a fresh remote result satisfies the refresh
+  // requirement (eq. 7's indicator does not fire).
+  return context.remote_fresh ? FrameAction::kApplyRemote
+                              : FrameAction::kRunLocal;
+}
+
+bool offload_feasible(int delta_i, int delta_max, int estimate_periods,
+                      bool unconstrained) {
+  SEO_EXPECT(delta_i >= 1);
+  SEO_EXPECT(delta_max >= 1);
+  SEO_EXPECT(estimate_periods >= 0);
+  // Unconstrained streaming: responses must still land within the refresh
+  // window (delta_max == cap here), or every deadline slot would fall back
+  // locally while the radio burns energy on unusable uplinks.
+  if (unconstrained) return estimate_periods <= delta_max;
+  const int ds = SeoScheduler::deadline_slot(delta_i, delta_max);
+  return ds >= 1 && estimate_periods <= ds;
+}
+
+}  // namespace seo

@@ -1,0 +1,95 @@
+// Energy-optimization strategies — the paper's Omega, as pluggable policy
+// objects mapping scheduler slot kinds to frame actions.
+//
+// The scheduler (scheduler.hpp) decides *when* optimization is authorized
+// (slot kinds under the safety deadline); a strategy decides *what* to do
+// with an authorized slot: gate the model, run a scaled variant, transmit
+// the frame, or fall back to local compute.  Keeping the two separate makes
+// the safety argument compositional — no strategy can override a deadline
+// slot's local-execution requirement in a constrained interval.
+#pragma once
+
+#include <memory>
+
+#include "core/scheduler.hpp"
+
+namespace seo {
+
+/// What happens to one sensor frame.
+enum class FrameAction {
+  kRunLocal,    ///< full model executes locally
+  kGate,        ///< nothing executes; previous output stays in Theta'
+  kRunScaled,   ///< scaled model variant executes locally
+  kOffload,     ///< frame transmitted to the edge server
+  kApplyRemote, ///< fresh remote result substitutes the local run
+};
+
+/// Per-frame decision context assembled by the runtime loop.
+struct FrameContext {
+  SlotKind kind = SlotKind::kNoFrame;
+  bool unconstrained = false;  ///< current interval's deadline is vacuous
+  int delta_max = 1;           ///< effective discretized deadline
+  int delta_i = 1;             ///< pipeline period
+  bool offload_feasible = false;  ///< section V-A feasibility (interval-wide)
+  bool remote_fresh = false;   ///< a remote result arrived in this interval
+                               ///< and is within the staleness bound
+};
+
+/// Strategy interface: decisions for the two authorization points.
+class OptimizationStrategy {
+ public:
+  virtual ~OptimizationStrategy() = default;
+
+  /// Action for a frame in an optimization slot (Omega may be applied).
+  virtual FrameAction opt_slot(const FrameContext& context) const = 0;
+
+  /// Action at the deadline slot.  Constrained intervals MUST return
+  /// kRunLocal (Algorithm 1 lines 14-15); implementations are checked.
+  virtual FrameAction deadline_slot(const FrameContext& context) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Always-local baseline (no optimization).
+class LocalOnlyStrategy final : public OptimizationStrategy {
+ public:
+  FrameAction opt_slot(const FrameContext& context) const override;
+  FrameAction deadline_slot(const FrameContext& context) const override;
+  const char* name() const override { return "local"; }
+};
+
+/// Model/sensor gating (paper section V-B).
+class GatingStrategy final : public OptimizationStrategy {
+ public:
+  FrameAction opt_slot(const FrameContext& context) const override;
+  FrameAction deadline_slot(const FrameContext& context) const override;
+  const char* name() const override { return "gating"; }
+};
+
+/// Model scaling: a cheaper variant keeps outputs fresh in opt slots.
+class ScaledStrategy final : public OptimizationStrategy {
+ public:
+  FrameAction opt_slot(const FrameContext& context) const override;
+  FrameAction deadline_slot(const FrameContext& context) const override;
+  const char* name() const override { return "scaled"; }
+};
+
+/// Task offloading (paper section V-A): transmit in opt slots when
+/// feasible; in unconstrained intervals a fresh remote result may satisfy
+/// the deadline slot (eq. 7's indicator), otherwise local fallback.
+class OffloadStrategy final : public OptimizationStrategy {
+ public:
+  FrameAction opt_slot(const FrameContext& context) const override;
+  FrameAction deadline_slot(const FrameContext& context) const override;
+  const char* name() const override { return "offload"; }
+};
+
+/// Section V-A feasibility rule: offloading is worthwhile for an interval
+/// iff the pipeline has at least one optimization slot and the estimated
+/// response time (delta-hat, in base periods) lands before its deadline
+/// slot.  Unconstrained (streaming) intervals qualify iff delta-hat fits
+/// the refresh window (`delta_max` carries the cap there).
+bool offload_feasible(int delta_i, int delta_max, int estimate_periods,
+                      bool unconstrained);
+
+}  // namespace seo

@@ -1,0 +1,29 @@
+#include "core/timebase.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+namespace {
+constexpr double kDivisibleTolerance = 1e-9;
+}
+
+TimeBase::TimeBase(double tau_s) : tau_s_(tau_s) { SEO_EXPECT(tau_s > 0.0); }
+
+int TimeBase::discretize_period(double period_s) const {
+  SEO_EXPECT(period_s > 0.0);
+  const double ratio = period_s / tau_s_;
+  const double rounded = std::round(ratio);
+  if (std::abs(ratio - rounded) < kDivisibleTolerance * std::max(1.0, ratio))
+    return static_cast<int>(rounded);  // (p_i % tau) == 0 branch
+  return static_cast<int>(std::floor(ratio)) + 1;
+}
+
+int TimeBase::discretize_deadline(double delta_max_s) const {
+  SEO_EXPECT(delta_max_s >= 0.0);
+  return static_cast<int>(std::floor(delta_max_s / tau_s_));
+}
+
+}  // namespace seo

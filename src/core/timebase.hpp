@@ -1,0 +1,36 @@
+// Unified discrete time axis — the paper's eqs. (4) and (5).
+//
+// A base period tau is chosen; every sensor's sampling period p_i is
+// discretized to delta_i = p_i/tau if divisible, else floor(p_i/tau)+1
+// (eq. 4, i.e. ceiling), and a continuous safety interval Delta_max is
+// discretized to delta_max = floor(Delta_max/tau) (eq. 5) — conservative in
+// both directions: sensors never scheduled faster than they sample,
+// deadlines never rounded later than they expire.
+#pragma once
+
+namespace seo {
+
+class TimeBase {
+ public:
+  explicit TimeBase(double tau_s);
+
+  double tau_s() const { return tau_s_; }
+
+  /// Eq. (4): sensor period -> base-period multiple (ceiling semantics,
+  /// with a relative tolerance for the exactly-divisible branch so that
+  /// e.g. 40 ms / 20 ms robustly yields 2 despite floating point).
+  int discretize_period(double period_s) const;
+
+  /// Eq. (5): safety interval -> base-period multiple (floor).
+  int discretize_deadline(double delta_max_s) const;
+
+  /// Tick index -> absolute seconds.
+  double seconds(long long ticks) const {
+    return static_cast<double>(ticks) * tau_s_;
+  }
+
+ private:
+  double tau_s_;
+};
+
+}  // namespace seo

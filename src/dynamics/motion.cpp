@@ -1,0 +1,53 @@
+#include "dynamics/motion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+Obstacle ObstacleMotion::at(double t) const {
+  const double osc =
+      osc_amplitude * std::sin(osc_omega * t + osc_phase);
+  return Obstacle{origin + velocity * t + osc_axis * osc, radius};
+}
+
+double ObstacleMotion::max_speed() const {
+  return velocity.norm() + std::abs(osc_amplitude * osc_omega);
+}
+
+MovingObstacleField::MovingObstacleField(std::vector<ObstacleMotion> motions)
+    : motions_(std::move(motions)) {
+  for (const auto& m : motions_) {
+    SEO_EXPECT(m.radius > 0.0);
+    SEO_EXPECT(m.osc_amplitude >= 0.0);
+  }
+}
+
+ObstacleField MovingObstacleField::at(double t) const {
+  std::vector<Obstacle> obstacles;
+  obstacles.reserve(motions_.size());
+  for (const auto& m : motions_) obstacles.push_back(m.at(t));
+  return ObstacleField{std::move(obstacles)};
+}
+
+double MovingObstacleField::max_obstacle_speed() const {
+  double v = 0.0;
+  for (const auto& m : motions_) v = std::max(v, m.max_speed());
+  return v;
+}
+
+MovingObstacleField freeze(const ObstacleField& field) {
+  std::vector<ObstacleMotion> motions;
+  motions.reserve(field.size());
+  for (const auto& o : field.obstacles()) {
+    ObstacleMotion m;
+    m.origin = o.center;
+    m.radius = o.radius;
+    motions.push_back(m);
+  }
+  return MovingObstacleField{std::move(motions)};
+}
+
+}  // namespace seo

@@ -1,0 +1,55 @@
+#include "dynamics/obstacle.hpp"
+
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+ObstacleField::ObstacleField(std::vector<Obstacle> obstacles)
+    : obstacles_(std::move(obstacles)) {
+  for (const auto& o : obstacles_) SEO_EXPECT(o.radius > 0.0);
+}
+
+const Obstacle& ObstacleField::at(std::size_t i) const {
+  SEO_EXPECT(i < obstacles_.size());
+  return obstacles_[i];
+}
+
+std::optional<NearestObstacle> ObstacleField::nearest(const Vec2& point) const {
+  if (obstacles_.empty()) return std::nullopt;
+  NearestObstacle best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    const auto& o = obstacles_[i];
+    const double d = distance(point, o.center) - o.radius;
+    if (d < best_dist) {
+      best_dist = d;
+      best = NearestObstacle{i, d, o.center, o.radius};
+    }
+  }
+  return best;
+}
+
+bool ObstacleField::collides(const Vec2& point, double body_radius) const {
+  SEO_EXPECT(body_radius >= 0.0);
+  for (const auto& o : obstacles_) {
+    if (distance(point, o.center) <= o.radius + body_radius) return true;
+  }
+  return false;
+}
+
+std::vector<NearestObstacle> ObstacleField::within(const Vec2& point,
+                                                   double range) const {
+  SEO_EXPECT(range >= 0.0);
+  std::vector<NearestObstacle> out;
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    const auto& o = obstacles_[i];
+    const double d = distance(point, o.center) - o.radius;
+    if (distance(point, o.center) <= range)
+      out.push_back(NearestObstacle{i, d, o.center, o.radius});
+  }
+  return out;
+}
+
+}  // namespace seo

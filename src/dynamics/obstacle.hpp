@@ -1,0 +1,54 @@
+// Static obstacles and queries over them.  The paper models each obstacle's
+// "safety bound coordinates" as a sphere around the obstacle (section III-B);
+// here that is a disc in the plane.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "dynamics/vec2.hpp"
+
+namespace seo {
+
+/// A circular static obstacle (e.g. a parked vehicle or barrel in CARLA).
+struct Obstacle {
+  Vec2 center{};
+  double radius = 1.0;  ///< physical extent [m]
+};
+
+/// Result of a nearest-obstacle query.
+struct NearestObstacle {
+  std::size_t index = 0;
+  double surface_distance = 0.0;  ///< distance from query point to obstacle
+                                  ///< *surface* (can be negative inside)
+  Vec2 center{};
+  double radius = 0.0;
+};
+
+/// Immutable collection of obstacles with proximity queries.
+class ObstacleField {
+ public:
+  ObstacleField() = default;
+  explicit ObstacleField(std::vector<Obstacle> obstacles);
+
+  const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+  bool empty() const { return obstacles_.empty(); }
+  std::size_t size() const { return obstacles_.size(); }
+  const Obstacle& at(std::size_t i) const;
+
+  /// Nearest obstacle to `point` by surface distance; nullopt when empty.
+  std::optional<NearestObstacle> nearest(const Vec2& point) const;
+
+  /// True if a disc of `body_radius` at `point` intersects any obstacle.
+  bool collides(const Vec2& point, double body_radius) const;
+
+  /// All obstacles whose center is within `range` of `point` — the sensing
+  /// footprint used to synthesize detector outputs.
+  std::vector<NearestObstacle> within(const Vec2& point, double range) const;
+
+ private:
+  std::vector<Obstacle> obstacles_;
+};
+
+}  // namespace seo

@@ -1,0 +1,36 @@
+#include "dynamics/road.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+Road::Road(RoadParams params) : params_(params) {
+  SEO_EXPECT(params_.length > 0.0);
+  SEO_EXPECT(params_.half_width > 0.0);
+}
+
+double Road::progress(const Vec2& position) const {
+  return std::clamp(position.x, 0.0, params_.length);
+}
+
+double Road::boundary_margin(const Vec2& position) const {
+  return params_.half_width - std::abs(position.y);
+}
+
+bool Road::finished(const Vec2& position) const {
+  return position.x >= params_.length;
+}
+
+bool Road::off_road(const Vec2& position) const {
+  return boundary_margin(position) < 0.0;
+}
+
+Vec2 Road::lookahead_point(const Vec2& position, double lookahead) const {
+  SEO_EXPECT(lookahead > 0.0);
+  return Vec2{progress(position) + lookahead, 0.0};
+}
+
+}  // namespace seo

@@ -1,0 +1,80 @@
+#include "energy/breakdown.hpp"
+
+#include <sstream>
+
+#include "util/expect.hpp"
+#include "util/table.hpp"
+
+namespace seo {
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
+  compute_j += other.compute_j;
+  scaled_compute_j += other.scaled_compute_j;
+  idle_j += other.idle_j;
+  radio_j += other.radio_j;
+  sensor_meas_j += other.sensor_meas_j;
+  sensor_mech_j += other.sensor_mech_j;
+  return *this;
+}
+
+EnergyBreakdown model_breakdown(const PipelineTally& tally,
+                                const PerceptionModelSpec& model,
+                                double period_s,
+                                const PlatformPowerModel& platform,
+                                const PerceptionModelSpec* scaled_model) {
+  SEO_EXPECT(period_s > 0.0);
+  const BucketCounts counts = tally.total();
+  SEO_EXPECT(counts.scaled_local == 0 || scaled_model != nullptr);
+
+  EnergyBreakdown out;
+  const auto locals = static_cast<double>(counts.local_frames());
+  out.compute_j = locals * model.latency_s * model.power_w;
+  out.idle_j = locals * (period_s - model.latency_s) * platform.idle_w +
+               static_cast<double>(counts.gated) * period_s * platform.idle_w;
+  if (scaled_model != nullptr && counts.scaled_local > 0) {
+    const auto scaled = static_cast<double>(counts.scaled_local);
+    out.scaled_compute_j =
+        scaled * scaled_model->latency_s * scaled_model->power_w;
+    out.idle_j +=
+        scaled * (period_s - scaled_model->latency_s) * platform.idle_w;
+  }
+  out.idle_j += static_cast<double>(counts.offload_tx + counts.remote_applied) *
+                period_s * platform.deep_sleep_w;
+  out.radio_j = counts.tx_energy_j;
+  return out;
+}
+
+EnergyBreakdown sensor_breakdown(const PipelineTally& tally,
+                                 const SensorSpec& sensor) {
+  const BucketCounts counts = tally.total();
+  const auto active = static_cast<double>(counts.total_frames() -
+                                          counts.gated);
+  const auto all = static_cast<double>(counts.total_frames());
+  EnergyBreakdown out;
+  out.sensor_meas_j = active * sensor.period_s * sensor.meas_power_w;
+  // The mechanical rail never gates (eq. 8): it draws for every period.
+  out.sensor_mech_j = all * sensor.period_s * sensor.mech_power_w;
+  return out;
+}
+
+std::string render_breakdown(const EnergyBreakdown& breakdown,
+                             const std::string& title) {
+  TextTable table(title);
+  table.set_header({"rail", "energy [J]", "share"});
+  const double total = breakdown.total_j();
+  auto row = [&](const char* name, double joules) {
+    if (joules <= 0.0) return;
+    table.add_row({name, fmt_double(joules, 2),
+                   fmt_percent(total > 0.0 ? joules / total : 0.0)});
+  };
+  row("compute (full model)", breakdown.compute_j);
+  row("compute (scaled model)", breakdown.scaled_compute_j);
+  row("accelerator idle", breakdown.idle_j);
+  row("radio uplink", breakdown.radio_j);
+  row("sensor measurement", breakdown.sensor_meas_j);
+  row("sensor mechanical", breakdown.sensor_mech_j);
+  table.add_row({"total", fmt_double(total, 2), "100.0%"});
+  return table.render();
+}
+
+}  // namespace seo

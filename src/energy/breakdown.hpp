@@ -1,0 +1,49 @@
+// Per-rail energy breakdowns — where the joules actually went, split by
+// compute / idle / radio / sensor rails.  Used by examples and diagnostics;
+// the gain numbers in reports.hpp are the aggregate view of the same data.
+#pragma once
+
+#include <string>
+
+#include "energy/power_model.hpp"
+#include "energy/tally.hpp"
+#include "sensors/sensor_spec.hpp"
+
+namespace seo {
+
+/// Energy by rail [J].
+struct EnergyBreakdown {
+  double compute_j = 0.0;      ///< full-model inference (T_N * P_N)
+  double scaled_compute_j = 0.0;  ///< scaled-variant inference
+  double idle_j = 0.0;         ///< accelerator idle (incl. gated slots)
+  double radio_j = 0.0;        ///< uplink transmissions
+  double sensor_meas_j = 0.0;  ///< sensor measurement rail (P_meas)
+  double sensor_mech_j = 0.0;  ///< sensor mechanical rail (P_mech)
+
+  double total_j() const {
+    return compute_j + scaled_compute_j + idle_j + radio_j + sensor_meas_j +
+           sensor_mech_j;
+  }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& other);
+};
+
+/// Accelerator + radio rails from a schedule tally (model-only view).
+/// `scaled_model` may be null only when the tally has no scaled frames.
+EnergyBreakdown model_breakdown(const PipelineTally& tally,
+                                const PerceptionModelSpec& model,
+                                double period_s,
+                                const PlatformPowerModel& platform,
+                                const PerceptionModelSpec* scaled_model =
+                                    nullptr);
+
+/// Sensor rails from a schedule tally (eq. 8 semantics: gated periods draw
+/// only the mechanical rail).
+EnergyBreakdown sensor_breakdown(const PipelineTally& tally,
+                                 const SensorSpec& sensor);
+
+/// One-line-per-rail rendering for human consumption.
+std::string render_breakdown(const EnergyBreakdown& breakdown,
+                             const std::string& title);
+
+}  // namespace seo

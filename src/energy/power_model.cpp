@@ -1,0 +1,37 @@
+#include "energy/power_model.hpp"
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+double local_frame_energy_j(const PerceptionModelSpec& model, double period_s,
+                            const PlatformPowerModel& platform) {
+  SEO_EXPECT(period_s > 0.0);
+  SEO_EXPECT(model.latency_s <= period_s);
+  return model.latency_s * model.power_w +
+         (period_s - model.latency_s) * platform.idle_w;
+}
+
+double gated_frame_energy_j(double period_s,
+                            const PlatformPowerModel& platform) {
+  SEO_EXPECT(period_s > 0.0);
+  return period_s * platform.idle_w;
+}
+
+double offloaded_frame_energy_j(double period_s,
+                                const PlatformPowerModel& platform) {
+  SEO_EXPECT(period_s > 0.0);
+  return period_s * platform.deep_sleep_w;
+}
+
+double sensor_active_energy_j(const SensorSpec& sensor,
+                              const PerceptionModelSpec& model) {
+  return sensor.period_s * (sensor.mech_power_w + sensor.meas_power_w) +
+         model.latency_s * model.power_w;
+}
+
+double sensor_gated_energy_j(const SensorSpec& sensor) {
+  return sensor.period_s * sensor.mech_power_w;
+}
+
+}  // namespace seo

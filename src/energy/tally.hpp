@@ -1,0 +1,88 @@
+// Schedule tallies: per-pipeline counts of what happened to every sensor
+// frame, bucketed by the deadline class (discretized delta_max) of the
+// optimization interval the frame fell in.
+//
+// Every energy number any table/figure reports is a pure function of these
+// tallies and the power specs, which makes the accounting auditable and the
+// paper's closed forms (75% camera gain at delta_max = 4tau, ...) directly
+// assertable in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace seo {
+
+/// What the SEO scheduler did with one sensor frame.
+enum class SlotOutcome {
+  kLocalScheduled,  ///< regular local inference (no optimization authorized)
+  kLocalDeadline,   ///< mandatory local inference at the deadline slot
+  kLocalFallback,   ///< local inference because the offload response was late
+  kGated,           ///< frame gated (model idle; sensor optionally gated)
+  kOffloadTx,       ///< frame transmitted; no local inference this slot
+  kRemoteApplied,   ///< deadline slot satisfied by an arrived remote result
+  kScaledLocal,     ///< cheaper model variant ran (model-scaling optimizer)
+};
+
+/// Deadline class of an interval: 1..cap for constrained intervals
+/// (discretized delta_max), or kUnconstrainedBucket when no obstacle was in
+/// sensing range so the formal deadline was vacuous.
+inline constexpr int kUnconstrainedBucket = 0;
+
+/// Frame counts and radio energy within one deadline bucket.
+struct BucketCounts {
+  std::uint64_t local_scheduled = 0;
+  std::uint64_t local_deadline = 0;
+  std::uint64_t local_fallback = 0;
+  std::uint64_t gated = 0;
+  std::uint64_t offload_tx = 0;
+  std::uint64_t remote_applied = 0;
+  std::uint64_t scaled_local = 0;
+  double tx_energy_j = 0.0;  ///< accumulated radio energy of this bucket
+
+  std::uint64_t local_frames() const {
+    return local_scheduled + local_deadline + local_fallback;
+  }
+  /// Frames the full model never executed locally on.
+  std::uint64_t non_local_frames() const {
+    return gated + offload_tx + remote_applied + scaled_local;
+  }
+  std::uint64_t total_frames() const {
+    return local_frames() + non_local_frames();
+  }
+
+  void merge(const BucketCounts& other);
+};
+
+/// Per-pipeline tally across all deadline buckets.
+class PipelineTally {
+ public:
+  /// `deadline_cap`: maximum discretized deadline (buckets 0..cap).
+  explicit PipelineTally(int deadline_cap = 4);
+
+  int deadline_cap() const { return static_cast<int>(buckets_.size()) - 1; }
+
+  /// Records one frame outcome in `bucket` (0 = unconstrained).
+  /// `tx_energy_j` is the radio energy attributable to this frame, if any.
+  void record(int bucket, SlotOutcome outcome, double tx_energy_j = 0.0);
+
+  /// Adds radio energy not tied to a frame outcome (e.g. channel probes),
+  /// so it is charged to the optimized run without inflating frame counts.
+  void add_tx_energy(int bucket, double tx_energy_j);
+
+  const BucketCounts& bucket(int b) const;
+  /// Sum over all buckets.
+  BucketCounts total() const;
+  /// Sum over constrained buckets with delta_max == `d` only.
+  const BucketCounts& constrained(int d) const { return bucket(d); }
+
+  std::uint64_t total_frames() const { return total().total_frames(); }
+  double total_tx_energy_j() const { return total().tx_energy_j; }
+
+  void merge(const PipelineTally& other);
+
+ private:
+  std::vector<BucketCounts> buckets_;  // [0] unconstrained, [1..cap]
+};
+
+}  // namespace seo

@@ -1,0 +1,25 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+RayleighChannel::RayleighChannel(double scale_bps, double floor_bps)
+    : scale_bps_(scale_bps), floor_bps_(floor_bps) {
+  SEO_EXPECT(scale_bps > 0.0);
+  SEO_EXPECT(floor_bps >= 0.0 && floor_bps < scale_bps);
+}
+
+double RayleighChannel::sample_rate_bps(Rng& rng) {
+  return std::max(floor_bps_, rng.rayleigh(scale_bps_));
+}
+
+FixedChannel::FixedChannel(double rate_bps) : rate_bps_(rate_bps) {
+  SEO_EXPECT(rate_bps > 0.0);
+}
+
+double FixedChannel::sample_rate_bps(Rng& /*rng*/) { return rate_bps_; }
+
+}  // namespace seo

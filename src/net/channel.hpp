@@ -1,0 +1,48 @@
+// Wireless channel models.  The paper assumes a Wi-Fi link whose effective
+// data rate is sampled from a Rayleigh distribution with scale 20 Mbps
+// (section VI-A); we add a fixed-rate channel for deterministic tests and
+// ablations.
+#pragma once
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace seo {
+
+/// Interface: per-transmission effective uplink data rate in bits/s.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  /// Samples the effective data rate for one transmission [bit/s].
+  virtual double sample_rate_bps(Rng& rng) = 0;
+};
+
+/// Rayleigh-fading effective rate: rate ~ Rayleigh(sigma = scale_bps).
+/// Mean rate = scale * sqrt(pi/2) ~ 1.25 * scale.  A floor keeps pathological
+/// near-zero draws from producing unbounded transmission times (they would
+/// be aborted by any real MAC layer anyway); floored draws model deep fades.
+class RayleighChannel : public Channel {
+ public:
+  explicit RayleighChannel(double scale_bps, double floor_bps = 1e5);
+
+  double sample_rate_bps(Rng& rng) override;
+
+  double scale_bps() const { return scale_bps_; }
+
+ private:
+  double scale_bps_;
+  double floor_bps_;
+};
+
+/// Deterministic rate, for unit tests and worst-case injections.
+class FixedChannel : public Channel {
+ public:
+  explicit FixedChannel(double rate_bps);
+  double sample_rate_bps(Rng& rng) override;
+
+ private:
+  double rate_bps_;
+};
+
+}  // namespace seo

@@ -1,0 +1,46 @@
+#include "net/edge_server.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+EdgeServer::EdgeServer(EdgeServerParams params) : params_(params) {
+  SEO_EXPECT(params_.service_time_s > 0.0);
+  SEO_EXPECT(params_.parallelism >= 1);
+  worker_busy_until_.assign(static_cast<std::size_t>(params_.parallelism),
+                            0.0);
+}
+
+std::optional<double> EdgeServer::submit(double arrival_time) {
+  SEO_EXPECT(arrival_time >= 0.0);
+  // Queue occupancy at this instant: admitted jobs that have not started.
+  const std::size_t waiting = backlog(arrival_time);
+  const bool all_busy =
+      std::all_of(worker_busy_until_.begin(), worker_busy_until_.end(),
+                  [&](double t) { return t > arrival_time; });
+  if (all_busy && waiting >= params_.queue_capacity) {
+    ++rejected_;
+    return std::nullopt;
+  }
+
+  // Earliest-available worker serves the job FIFO.
+  auto earliest = std::min_element(worker_busy_until_.begin(),
+                                   worker_busy_until_.end());
+  const double start = std::max(*earliest, arrival_time);
+  const double completion = start + params_.service_time_s;
+  *earliest = completion;
+  start_times_.push_back(start);
+  ++admitted_;
+  max_queue_delay_ = std::max(max_queue_delay_, start - arrival_time);
+  return completion;
+}
+
+std::size_t EdgeServer::backlog(double time) const {
+  return static_cast<std::size_t>(
+      std::count_if(start_times_.begin(), start_times_.end(),
+                    [&](double start) { return start > time; }));
+}
+
+}  // namespace seo

@@ -1,0 +1,58 @@
+// Edge-server compute model with queueing.
+//
+// The paper treats server response time as part of the stochastic
+// round-trip; this module makes the server side explicit: a small pool of
+// workers with deterministic per-inference service time and a bounded FIFO
+// queue.  Burst arrivals (multiple pipelines offloading in the same base
+// period) serialize on the workers, which is the mechanism behind
+// response-time inflation at scale — and a second reason (besides fading)
+// why the delta-hat estimator must stay conservative.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace seo {
+
+struct EdgeServerParams {
+  double service_time_s = 0.005;  ///< per-inference time on the server GPU
+  int parallelism = 2;            ///< concurrent inference workers
+  std::size_t queue_capacity = 32;  ///< pending jobs beyond the workers
+};
+
+/// Deterministic multi-worker queueing model.  Jobs are admitted in
+/// arrival order; each runs `service_time_s` on the earliest-available
+/// worker.  Admission fails (overload shedding) when, at the instant of
+/// arrival, all workers are busy and `queue_capacity` jobs are already
+/// waiting.
+class EdgeServer {
+ public:
+  explicit EdgeServer(EdgeServerParams params = {});
+
+  const EdgeServerParams& params() const { return params_; }
+
+  /// Admits a job arriving at `arrival_time`; returns its completion time,
+  /// or nullopt if the queue is full (the client must fall back locally).
+  std::optional<double> submit(double arrival_time);
+
+  /// Jobs admitted / rejected so far.
+  std::size_t admitted() const { return admitted_; }
+  std::size_t rejected() const { return rejected_; }
+
+  /// Number of jobs that would be queued (not yet started) at `time`.
+  std::size_t backlog(double time) const;
+
+  /// Worst queueing delay (start - arrival) observed so far.
+  double max_queue_delay() const { return max_queue_delay_; }
+
+ private:
+  EdgeServerParams params_;
+  std::vector<double> worker_busy_until_;
+  std::vector<double> start_times_;  ///< start time of each admitted job
+  std::size_t admitted_ = 0;
+  std::size_t rejected_ = 0;
+  double max_queue_delay_ = 0.0;
+};
+
+}  // namespace seo

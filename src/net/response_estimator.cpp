@@ -1,0 +1,37 @@
+#include "net/response_estimator.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+ResponseEstimator::ResponseEstimator(double prior_s, double alpha,
+                                     double safety_factor, double alpha_down)
+    : ewma_s_(prior_s),
+      alpha_(alpha),
+      alpha_down_(alpha_down),
+      safety_factor_(safety_factor) {
+  SEO_EXPECT(prior_s > 0.0);
+  SEO_EXPECT(alpha > 0.0 && alpha <= 1.0);
+  SEO_EXPECT(alpha_down > 0.0 && alpha_down <= 1.0);
+  SEO_EXPECT(safety_factor >= 1.0);
+}
+
+void ResponseEstimator::observe(double response_s) {
+  SEO_EXPECT(response_s > 0.0);
+  const double a = response_s < ewma_s_ ? alpha_down_ : alpha_;
+  ewma_s_ = a * response_s + (1.0 - a) * ewma_s_;
+  ++observations_;
+}
+
+double ResponseEstimator::estimate_s() const {
+  return ewma_s_ * safety_factor_;
+}
+
+int ResponseEstimator::estimate_periods(double tau_s) const {
+  SEO_EXPECT(tau_s > 0.0);
+  return static_cast<int>(std::ceil(estimate_s() / tau_s));
+}
+
+}  // namespace seo

@@ -1,0 +1,49 @@
+// EWMA estimator of the offload round-trip time — the paper's server
+// response-time estimate (delta-hat, section V-A) used to decide whether an
+// offload can be expected to meet the current safety deadline.
+#pragma once
+
+#include <cstddef>
+
+namespace seo {
+
+/// Exponentially-weighted moving average over observed round-trip times,
+/// seeded with an analytic prior so the very first intervals can already
+/// make an informed feasibility call.
+///
+/// The average is asymmetric (TCP-flavored): bad news (slower responses)
+/// is absorbed at `alpha`, good news (faster responses) at the larger
+/// `alpha_down`, so a single deep fade does not lock the estimator into
+/// pessimism for long once probes show the channel recovered.
+class ResponseEstimator {
+ public:
+  /// `prior_s`: initial estimate (e.g. frame_bits/mean_rate + server time).
+  /// `alpha`: EWMA weight of slower-than-estimate observations, in (0, 1].
+  /// `safety_factor`: multiplicative margin on the reported estimate (>= 1),
+  /// making feasibility conservative under channel variance.
+  /// `alpha_down`: weight of faster-than-estimate observations, in (0, 1].
+  ResponseEstimator(double prior_s, double alpha = 0.25,
+                    double safety_factor = 1.15, double alpha_down = 0.6);
+
+  /// Feeds one observed round-trip time [s].
+  void observe(double response_s);
+
+  /// Conservative current estimate delta-hat [s] (EWMA * safety_factor).
+  double estimate_s() const;
+  /// Raw EWMA without the safety margin.
+  double mean_s() const { return ewma_s_; }
+  std::size_t observations() const { return observations_; }
+
+  /// delta-hat discretized to base periods (ceil), the unit the scheduler's
+  /// feasibility rule works in.
+  int estimate_periods(double tau_s) const;
+
+ private:
+  double ewma_s_;
+  double alpha_;
+  double alpha_down_;
+  double safety_factor_;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace seo

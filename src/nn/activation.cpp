@@ -1,0 +1,73 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace seo::nn {
+
+Vector apply_activation(Activation act, const Vector& pre) {
+  Vector out(pre.size());
+  switch (act) {
+    case Activation::kIdentity:
+      out = pre;
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < pre.size(); ++i) out[i] = std::tanh(pre[i]);
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < pre.size(); ++i)
+        out[i] = pre[i] > 0.0 ? pre[i] : 0.0;
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < pre.size(); ++i)
+        out[i] = 1.0 / (1.0 + std::exp(-pre[i]));
+      break;
+  }
+  return out;
+}
+
+Vector activation_derivative(Activation act, const Vector& pre) {
+  Vector out(pre.size());
+  switch (act) {
+    case Activation::kIdentity:
+      for (auto& v : out) v = 1.0;
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < pre.size(); ++i) {
+        const double t = std::tanh(pre[i]);
+        out[i] = 1.0 - t * t;
+      }
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < pre.size(); ++i)
+        out[i] = pre[i] > 0.0 ? 1.0 : 0.0;
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < pre.size(); ++i) {
+        const double s = 1.0 / (1.0 + std::exp(-pre[i]));
+        out[i] = s * (1.0 - s);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string to_string(Activation act) {
+  switch (act) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kTanh: return "tanh";
+    case Activation::kRelu: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+  }
+  return "?";
+}
+
+Activation activation_from_string(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+}  // namespace seo::nn

@@ -1,0 +1,21 @@
+// Activation functions with derivatives for the MLP stack.
+#pragma once
+
+#include <string>
+
+#include "nn/matrix.hpp"
+
+namespace seo::nn {
+
+enum class Activation { kIdentity, kTanh, kRelu, kSigmoid };
+
+/// Applies the activation elementwise.
+Vector apply_activation(Activation act, const Vector& pre);
+/// Elementwise derivative evaluated at the *pre-activation* values.
+Vector activation_derivative(Activation act, const Vector& pre);
+
+std::string to_string(Activation act);
+/// Parses "tanh" / "relu" / "sigmoid" / "identity"; throws on anything else.
+Activation activation_from_string(const std::string& name);
+
+}  // namespace seo::nn

@@ -1,0 +1,37 @@
+// Cross-Entropy Method — the gradient-free policy optimizer used by
+// examples/train_policy to train the neural driving agent inside the
+// simulator, standing in for the paper's 2000-episode RL training run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace seo::nn {
+
+struct CemConfig {
+  std::size_t population = 64;      ///< candidates per generation
+  std::size_t elites = 8;           ///< top-k kept to refit the distribution
+  std::size_t generations = 30;
+  double init_stddev = 0.5;         ///< initial sampling spread
+  double min_stddev = 0.02;         ///< stddev floor (keeps exploring)
+  double stddev_decay = 0.95;       ///< extra annealing per generation
+};
+
+struct CemResult {
+  Vector best_parameters;
+  double best_score = 0.0;
+  std::vector<double> generation_best;  ///< best score per generation
+};
+
+/// Maximizes `objective` over R^dim starting from `initial_mean`.
+/// The objective is typically "average episode reward of the policy with
+/// these flattened MLP parameters".
+CemResult cem_optimize(const std::function<double(const Vector&)>& objective,
+                       const Vector& initial_mean, const CemConfig& config,
+                       Rng& rng);
+
+}  // namespace seo::nn

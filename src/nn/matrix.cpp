@@ -1,0 +1,96 @@
+#include "nn/matrix.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace seo::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill_value)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill_value) {
+  SEO_EXPECT(rows > 0 && cols > 0);
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  SEO_EXPECT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  SEO_EXPECT(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Vector Matrix::matvec(const Vector& x) const {
+  SEO_EXPECT(x.size() == cols_);
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::matvec_transposed(const Vector& x) const {
+  SEO_EXPECT(x.size() == rows_);
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::add_outer(const Vector& col_vec, const Vector& row_vec,
+                       double scale) {
+  SEO_EXPECT(col_vec.size() == rows_ && row_vec.size() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * cols_;
+    const double cr = scale * col_vec[r];
+    for (std::size_t c = 0; c < cols_; ++c) row[c] += cr * row_vec[c];
+  }
+}
+
+void Matrix::fill(double v) {
+  for (auto& e : data_) e = v;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  SEO_EXPECT(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  SEO_EXPECT(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector hadamard(const Vector& a, const Vector& b) {
+  SEO_EXPECT(a.size() == b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  SEO_EXPECT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(const Vector& a, const Vector& b) {
+  SEO_EXPECT(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double l2_norm(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace seo::nn

@@ -1,0 +1,54 @@
+// Dense row-major matrix — the minimal linear-algebra substrate for the
+// neural policies.  Deliberately small: the networks in this system are
+// control-sized MLPs (tens of units), not the ResNet-152 perception models,
+// whose cost enters the experiments through their measured latency/power
+// characterization (paper section VI-A), not through actual inference.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace seo::nn {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// y = A x  (x.size() must equal cols()).
+  Vector matvec(const Vector& x) const;
+  /// y = A^T x (x.size() must equal rows()); used by backprop.
+  Vector matvec_transposed(const Vector& x) const;
+
+  /// A += scale * (col_vec * row_vec^T); the outer-product gradient update.
+  void add_outer(const Vector& col_vec, const Vector& row_vec, double scale);
+
+  void fill(double v);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Elementwise helpers on Vector.
+Vector add(const Vector& a, const Vector& b);
+Vector sub(const Vector& a, const Vector& b);
+Vector hadamard(const Vector& a, const Vector& b);
+void axpy(double alpha, const Vector& x, Vector& y);  ///< y += alpha*x
+double dot(const Vector& a, const Vector& b);
+double l2_norm(const Vector& a);
+
+}  // namespace seo::nn

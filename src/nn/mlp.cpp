@@ -1,0 +1,178 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/expect.hpp"
+
+namespace seo::nn {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  SEO_EXPECT(config_.sizes.size() >= 2);
+  for (const auto s : config_.sizes) SEO_EXPECT(s > 0);
+  for (std::size_t l = 0; l + 1 < config_.sizes.size(); ++l) {
+    weights_.emplace_back(config_.sizes[l + 1], config_.sizes[l]);
+    biases_.emplace_back(config_.sizes[l + 1], 0.0);
+    grad_weights_.emplace_back(config_.sizes[l + 1], config_.sizes[l]);
+    grad_biases_.emplace_back(config_.sizes[l + 1], 0.0);
+  }
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < weights_.size(); ++l)
+    n += weights_[l].size() + biases_[l].size();
+  return n;
+}
+
+Activation Mlp::layer_activation(std::size_t layer) const {
+  return layer + 1 == weights_.size() ? config_.output_act
+                                      : config_.hidden_act;
+}
+
+void Mlp::init_xavier(Rng& rng) {
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    auto& w = weights_[l];
+    const double bound =
+        std::sqrt(6.0 / static_cast<double>(w.rows() + w.cols()));
+    for (std::size_t r = 0; r < w.rows(); ++r)
+      for (std::size_t c = 0; c < w.cols(); ++c)
+        w.at(r, c) = rng.uniform(-bound, bound);
+    for (auto& b : biases_[l]) b = 0.0;
+  }
+}
+
+Vector Mlp::forward(const Vector& input) const {
+  SEO_EXPECT(input.size() == input_size());
+  Vector h = input;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Vector pre = add(weights_[l].matvec(h), biases_[l]);
+    h = apply_activation(layer_activation(l), pre);
+  }
+  return h;
+}
+
+double Mlp::train_sample(const Vector& input, const Vector& target) {
+  SEO_EXPECT(input.size() == input_size());
+  SEO_EXPECT(target.size() == output_size());
+
+  // Forward, caching per-layer inputs and pre-activations.
+  std::vector<Vector> layer_inputs;   // activation entering each layer
+  std::vector<Vector> pre_acts;       // W x + b per layer
+  Vector h = input;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    layer_inputs.push_back(h);
+    Vector pre = add(weights_[l].matvec(h), biases_[l]);
+    pre_acts.push_back(pre);
+    h = apply_activation(layer_activation(l), pre);
+  }
+
+  // Loss 0.5*||h - target||^2 and its gradient wrt output.
+  Vector delta = sub(h, target);
+  const double loss = 0.5 * dot(delta, delta);
+
+  // Backward.
+  for (std::size_t li = weights_.size(); li-- > 0;) {
+    const Vector dact = activation_derivative(layer_activation(li),
+                                              pre_acts[li]);
+    delta = hadamard(delta, dact);
+    grad_weights_[li].add_outer(delta, layer_inputs[li], 1.0);
+    axpy(1.0, delta, grad_biases_[li]);
+    if (li > 0) delta = weights_[li].matvec_transposed(delta);
+  }
+  return loss;
+}
+
+void Mlp::sgd_step(double learning_rate, std::size_t batch_size) {
+  SEO_EXPECT(learning_rate > 0.0);
+  SEO_EXPECT(batch_size > 0);
+  const double scale = learning_rate / static_cast<double>(batch_size);
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    auto& w = weights_[l];
+    auto& gw = grad_weights_[l];
+    for (std::size_t i = 0; i < w.rows() * w.cols(); ++i)
+      w.data()[i] -= scale * gw.data()[i];
+    for (std::size_t i = 0; i < biases_[l].size(); ++i)
+      biases_[l][i] -= scale * grad_biases_[l][i];
+  }
+  zero_grad();
+}
+
+void Mlp::zero_grad() {
+  for (auto& g : grad_weights_) g.fill(0.0);
+  for (auto& g : grad_biases_)
+    for (auto& v : g) v = 0.0;
+}
+
+Vector Mlp::flatten_parameters() const {
+  Vector flat;
+  flat.reserve(parameter_count());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    const auto& w = weights_[l];
+    flat.insert(flat.end(), w.data(), w.data() + w.size());
+    flat.insert(flat.end(), biases_[l].begin(), biases_[l].end());
+  }
+  return flat;
+}
+
+void Mlp::set_parameters(const Vector& flat) {
+  SEO_EXPECT(flat.size() == parameter_count());
+  std::size_t pos = 0;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    auto& w = weights_[l];
+    for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = flat[pos++];
+    for (auto& b : biases_[l]) b = flat[pos++];
+  }
+  SEO_ENSURE(pos == flat.size());
+}
+
+void Mlp::save(std::ostream& out) const {
+  out << "seo-mlp 1\n";
+  out << config_.sizes.size();
+  for (const auto s : config_.sizes) out << " " << s;
+  out << "\n" << to_string(config_.hidden_act) << " "
+      << to_string(config_.output_act) << "\n";
+  const Vector flat = flatten_parameters();
+  out.precision(17);
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    out << flat[i] << (i + 1 == flat.size() ? '\n' : ' ');
+}
+
+Mlp Mlp::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  SEO_EXPECT(magic == "seo-mlp" && version == 1);
+  std::size_t n_sizes = 0;
+  in >> n_sizes;
+  SEO_EXPECT(n_sizes >= 2 && n_sizes < 64);
+  MlpConfig config;
+  config.sizes.resize(n_sizes);
+  for (auto& s : config.sizes) in >> s;
+  std::string hidden, output;
+  in >> hidden >> output;
+  config.hidden_act = activation_from_string(hidden);
+  config.output_act = activation_from_string(output);
+  Mlp net(config);
+  Vector flat(net.parameter_count());
+  for (auto& v : flat) in >> v;
+  SEO_EXPECT(static_cast<bool>(in));
+  net.set_parameters(flat);
+  return net;
+}
+
+double mse_loss(const Mlp& net, const std::vector<Vector>& inputs,
+                const std::vector<Vector>& targets) {
+  SEO_EXPECT(inputs.size() == targets.size());
+  SEO_EXPECT(!inputs.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Vector out = net.forward(inputs[i]);
+    const Vector d = sub(out, targets[i]);
+    acc += dot(d, d);
+  }
+  return acc / static_cast<double>(inputs.size());
+}
+
+}  // namespace seo::nn

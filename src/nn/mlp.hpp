@@ -1,0 +1,76 @@
+// Multi-layer perceptron with forward inference, backprop training and a
+// flat-parameter view (for the gradient-free CEM trainer).  This is the
+// network class behind the neural driving policy — the in-repo substitution
+// for the paper's CARLA-trained RL agent.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace seo::nn {
+
+/// Architecture description: layer widths and per-layer activations.
+/// `sizes = {4, 32, 32, 2}` builds a 4-input, 2-output net with two hidden
+/// layers; `hidden_act` applies to all but the last layer, which uses
+/// `output_act`.
+struct MlpConfig {
+  std::vector<std::size_t> sizes;
+  Activation hidden_act = Activation::kTanh;
+  Activation output_act = Activation::kIdentity;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(MlpConfig config);
+
+  const MlpConfig& config() const { return config_; }
+  std::size_t input_size() const { return config_.sizes.front(); }
+  std::size_t output_size() const { return config_.sizes.back(); }
+  std::size_t layer_count() const { return weights_.size(); }
+  /// Total number of trainable scalars.
+  std::size_t parameter_count() const;
+
+  /// Xavier/Glorot-uniform initialization of all weights (biases zero).
+  void init_xavier(Rng& rng);
+
+  /// Forward pass; input size must match the first layer.
+  Vector forward(const Vector& input) const;
+
+  /// Forward pass retaining intermediate values, followed by a backward
+  /// pass accumulating gradients of 0.5*||output - target||^2.  Returns
+  /// the sample loss.  Gradients accumulate until sgd_step/zero_grad.
+  double train_sample(const Vector& input, const Vector& target);
+
+  /// Applies accumulated gradients: w -= lr * grad / batch, then clears.
+  void sgd_step(double learning_rate, std::size_t batch_size);
+  void zero_grad();
+
+  /// Flattened parameter access (weights row-major, then biases, per layer)
+  /// — the genome for CEM training.
+  Vector flatten_parameters() const;
+  void set_parameters(const Vector& flat);
+
+  /// Text serialization (architecture + parameters), round-trippable.
+  void save(std::ostream& out) const;
+  static Mlp load(std::istream& in);
+
+ private:
+  Activation layer_activation(std::size_t layer) const;
+
+  MlpConfig config_;
+  std::vector<Matrix> weights_;
+  std::vector<Vector> biases_;
+  std::vector<Matrix> grad_weights_;
+  std::vector<Vector> grad_biases_;
+};
+
+/// Mean-squared-error over a batch of (input, target) pairs.
+double mse_loss(const Mlp& net, const std::vector<Vector>& inputs,
+                const std::vector<Vector>& targets);
+
+}  // namespace seo::nn

@@ -1,0 +1,44 @@
+#include "safety/barrier.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+Barrier::Barrier(BarrierConfig config) : config_(config) {
+  SEO_EXPECT(config_.body_radius >= 0.0);
+  SEO_EXPECT(config_.margin > 0.0);
+  SEO_EXPECT(config_.heading_gain >= 0.0);
+}
+
+double Barrier::surface_clearance(const VehicleState& state,
+                                  const Obstacle& obstacle) const {
+  return distance(state.position, obstacle.center) - obstacle.radius -
+         config_.body_radius;
+}
+
+double Barrier::relative_bearing(const VehicleState& state,
+                                 const Obstacle& obstacle) const {
+  const Vec2 rel = obstacle.center - state.position;
+  return wrap_angle(rel.angle() - state.heading);
+}
+
+double Barrier::value(const VehicleState& state,
+                      const Obstacle& obstacle) const {
+  const double clearance = surface_clearance(state, obstacle);
+  const double chi = relative_bearing(state, obstacle);
+  const double g = 1.0 + config_.heading_gain * (1.0 + std::cos(chi)) * 0.5;
+  return clearance - config_.margin * g;
+}
+
+double Barrier::value(const VehicleState& state,
+                      const ObstacleField& field) const {
+  double h = std::numeric_limits<double>::infinity();
+  for (const auto& o : field.obstacles())
+    h = std::min(h, value(state, o));
+  return h;
+}
+
+}  // namespace seo

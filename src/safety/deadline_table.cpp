@@ -1,0 +1,170 @@
+#include "safety/deadline_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Maps a continuous coordinate into (bin_lo, fraction) for interpolation.
+struct GridCoord {
+  int lo;
+  double frac;
+};
+
+GridCoord locate(double value, double min_v, double max_v, int bins) {
+  const double clamped = std::clamp(value, min_v, max_v);
+  const double pos = (clamped - min_v) / (max_v - min_v) *
+                     static_cast<double>(bins - 1);
+  int lo = static_cast<int>(pos);
+  lo = std::min(lo, bins - 2);
+  return GridCoord{lo, pos - static_cast<double>(lo)};
+}
+}  // namespace
+
+DeadlineTable::DeadlineTable(DeadlineTableConfig config,
+                             const SafeIntervalEvaluator& source,
+                             double body_radius)
+    : config_(config),
+      body_radius_(body_radius),
+      values_(static_cast<std::size_t>(config.distance_bins) *
+              static_cast<std::size_t>(config.bearing_bins) *
+              static_cast<std::size_t>(config.speed_bins)) {
+  SEO_EXPECT(config_.distance_bins >= 2);
+  SEO_EXPECT(config_.bearing_bins >= 2);
+  SEO_EXPECT(config_.speed_bins >= 2);
+  SEO_EXPECT(config_.max_distance > 0.0);
+  SEO_EXPECT(config_.max_speed > 0.0);
+
+  // Place a virtual obstacle at every reduced coordinate and record the
+  // evaluator's Delta_max.  The ego sits at the origin heading +x.
+  for (int di = 0; di < config_.distance_bins; ++di) {
+    const double d = config_.max_distance * static_cast<double>(di) /
+                     static_cast<double>(config_.distance_bins - 1);
+    for (int bi = 0; bi < config_.bearing_bins; ++bi) {
+      const double chi = -kPi + 2.0 * kPi * static_cast<double>(bi) /
+                                   static_cast<double>(config_.bearing_bins - 1);
+      for (int vi = 0; vi < config_.speed_bins; ++vi) {
+        const double v = config_.max_speed * static_cast<double>(vi) /
+                         static_cast<double>(config_.speed_bins - 1);
+        VehicleState state;
+        state.position = {0.0, 0.0};
+        state.heading = 0.0;
+        state.speed = v;
+        // Reconstruct the obstacle whose surface clearance is exactly d.
+        const double center_dist = d + config_.obstacle_radius + body_radius_;
+        Obstacle obstacle{Vec2::from_polar(center_dist, chi),
+                          config_.obstacle_radius};
+        const ObstacleField field({obstacle});
+        const SafeInterval si = source.evaluate(state, Control{}, field);
+        // Grid points are within the domain by construction, but guard a
+        // source that still reports "unconstrained" at the very edge with a
+        // bounded large value so interpolation is never poisoned.
+        cell(di, bi, vi) = si.constrained ? si.delta_max_s : 1e3;
+      }
+    }
+  }
+}
+
+DeadlineTable::DeadlineTable(DeadlineTableConfig config, double body_radius,
+                             std::vector<double> values)
+    : config_(config), body_radius_(body_radius), values_(std::move(values)) {
+  SEO_EXPECT(values_.size() ==
+             static_cast<std::size_t>(config_.distance_bins) *
+                 static_cast<std::size_t>(config_.bearing_bins) *
+                 static_cast<std::size_t>(config_.speed_bins));
+}
+
+void DeadlineTable::save(std::ostream& out) const {
+  out << "seo-dtable 1\n";
+  out << config_.distance_bins << " " << config_.bearing_bins << " "
+      << config_.speed_bins << "\n";
+  out.precision(17);
+  out << config_.max_distance << " " << config_.max_speed << " "
+      << config_.obstacle_radius << " " << body_radius_ << "\n";
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    out << values_[i] << (i + 1 == values_.size() ? '\n' : ' ');
+}
+
+DeadlineTable DeadlineTable::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  SEO_EXPECT(magic == "seo-dtable" && version == 1);
+  DeadlineTableConfig config;
+  double body_radius = 0.0;
+  in >> config.distance_bins >> config.bearing_bins >> config.speed_bins;
+  in >> config.max_distance >> config.max_speed >> config.obstacle_radius >>
+      body_radius;
+  SEO_EXPECT(config.distance_bins >= 2 && config.bearing_bins >= 2 &&
+             config.speed_bins >= 2);
+  std::vector<double> values(static_cast<std::size_t>(config.distance_bins) *
+                             static_cast<std::size_t>(config.bearing_bins) *
+                             static_cast<std::size_t>(config.speed_bins));
+  for (auto& v : values) in >> v;
+  SEO_EXPECT(static_cast<bool>(in));
+  return DeadlineTable(config, body_radius, std::move(values));
+}
+
+double& DeadlineTable::cell(int di, int bi, int vi) {
+  return values_[(static_cast<std::size_t>(di) *
+                      static_cast<std::size_t>(config_.bearing_bins) +
+                  static_cast<std::size_t>(bi)) *
+                     static_cast<std::size_t>(config_.speed_bins) +
+                 static_cast<std::size_t>(vi)];
+}
+
+double DeadlineTable::cell(int di, int bi, int vi) const {
+  return values_[(static_cast<std::size_t>(di) *
+                      static_cast<std::size_t>(config_.bearing_bins) +
+                  static_cast<std::size_t>(bi)) *
+                     static_cast<std::size_t>(config_.speed_bins) +
+                 static_cast<std::size_t>(vi)];
+}
+
+double DeadlineTable::sample(double dist, double bearing, double speed) const {
+  const GridCoord d = locate(dist, 0.0, config_.max_distance,
+                             config_.distance_bins);
+  const GridCoord b = locate(wrap_angle(bearing), -kPi, kPi,
+                             config_.bearing_bins);
+  const GridCoord v = locate(speed, 0.0, config_.max_speed,
+                             config_.speed_bins);
+
+  // Trilinear interpolation over the 8 surrounding cells.
+  double acc = 0.0;
+  for (int dd = 0; dd <= 1; ++dd) {
+    const double wd = dd == 0 ? 1.0 - d.frac : d.frac;
+    for (int bb = 0; bb <= 1; ++bb) {
+      const double wb = bb == 0 ? 1.0 - b.frac : b.frac;
+      for (int vv = 0; vv <= 1; ++vv) {
+        const double wv = vv == 0 ? 1.0 - v.frac : v.frac;
+        acc += wd * wb * wv * cell(d.lo + dd, b.lo + bb, v.lo + vv);
+      }
+    }
+  }
+  return acc;
+}
+
+SafeInterval DeadlineTable::evaluate(const VehicleState& state,
+                                     const Control& /*u*/,
+                                     const ObstacleField& field) const {
+  const auto nearest = field.nearest(state.position);
+  if (!nearest || nearest->surface_distance - body_radius_ >
+                      config_.max_distance + 1e-9)
+    return SafeInterval{false, 0.0};
+
+  const Vec2 rel = nearest->center - state.position;
+  const double bearing = wrap_angle(rel.angle() - state.heading);
+  const double clearance = nearest->surface_distance - body_radius_;
+  return SafeInterval{true,
+                      sample(std::max(clearance, 0.0), bearing, state.speed)};
+}
+
+}  // namespace seo

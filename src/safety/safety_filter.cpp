@@ -1,0 +1,97 @@
+#include "safety/safety_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+SafetyFilter::SafetyFilter(SafetyFilterConfig config, BicycleModel model,
+                           Barrier barrier, std::optional<Road> road)
+    : config_(config),
+      model_(std::move(model)),
+      barrier_(barrier),
+      road_(std::move(road)) {
+  SEO_EXPECT(config_.horizon_s > 0.0);
+  SEO_EXPECT(config_.step_s > 0.0 && config_.step_s <= config_.horizon_s);
+  SEO_EXPECT(config_.steering_candidates >= 3);
+  SEO_EXPECT(config_.off_road_penalty >= 0.0);
+}
+
+SafetyFilter::RolloutEval SafetyFilter::rollout(const VehicleState& state,
+                                                const ObstacleField& field,
+                                                const Control& control) const {
+  RolloutEval eval;
+  eval.min_h = barrier_.value(state, field);
+  VehicleState s = state;
+  const int steps =
+      static_cast<int>(std::ceil(config_.horizon_s / config_.step_s));
+  for (int i = 0; i < steps; ++i) {
+    s = model_.step_euler(s, control, config_.step_s);
+    eval.min_h = std::min(eval.min_h, barrier_.value(s, field));
+    if (road_) {
+      const double margin = road_->boundary_margin(s.position);
+      if (margin < 0.0)
+        eval.road_violation = std::max(eval.road_violation, -margin);
+    }
+  }
+  return eval;
+}
+
+FilterDecision SafetyFilter::filter(const VehicleState& state,
+                                    const ObstacleField& field,
+                                    const Control& raw) const {
+  FilterDecision decision;
+  decision.h_now = barrier_.value(state, field);
+  decision.control = model_.clamp(raw);
+
+  const double margin_eff =
+      config_.engage_margin *
+      std::clamp(state.speed / config_.speed_ref, config_.min_margin_factor,
+                 1.0);
+  const RolloutEval raw_eval = rollout(state, field, decision.control);
+  if (raw_eval.min_h >= margin_eff) {
+    decision.h_predicted = raw_eval.min_h;
+    return decision;  // S = 1 and staying safe: pass through.
+  }
+
+  // psi(x; U): search the admissible steering grid (optionally with brake
+  // assistance) for the action maximizing the worst-case barrier value.
+  ++engagements_;
+  decision.engaged = true;
+
+  const double max_steer = model_.params().max_steer;
+  double best_score = -std::numeric_limits<double>::infinity();
+  Control best = decision.control;
+
+  const int n = config_.steering_candidates;
+  for (int i = 0; i < n; ++i) {
+    const double steer =
+        -max_steer + 2.0 * max_steer * static_cast<double>(i) /
+                         static_cast<double>(n - 1);
+    for (int brake = 0; brake < (config_.brake_assist ? 2 : 1); ++brake) {
+      Control candidate;
+      candidate.steering = steer;
+      candidate.throttle =
+          brake == 0 ? decision.control.throttle : config_.brake_throttle;
+      const RolloutEval eval = rollout(state, field, candidate);
+      // Prefer higher safety; keep corrections on the road; tie-break
+      // toward the raw steering request so corrections are minimally
+      // invasive.
+      const double score =
+          eval.min_h - config_.off_road_penalty * eval.road_violation -
+          1e-3 * std::abs(steer - raw.steering) - (brake == 1 ? 1e-4 : 0.0);
+      if (score > best_score) {
+        best_score = score;
+        best = candidate;
+        decision.h_predicted = eval.min_h;
+      }
+    }
+  }
+  decision.control = best;
+  return decision;
+}
+
+}  // namespace seo

@@ -1,0 +1,86 @@
+// The safety filter Psi of the paper's eq. (2): passes raw control actions
+// through unchanged while the system is (and will remain) safe, and applies
+// the corrective policy psi(x; U) otherwise.
+//
+// Corrective policy: a predictive steering shield in the spirit of
+// ShieldNN [19] — it rolls the KBM forward under candidate steering actions
+// from the admissible set U and picks the candidate that maximizes the
+// worst-case barrier value over the prediction horizon (optionally adding
+// brake assistance).  Only the steering dimension is filtered, exactly like
+// the paper's controller shield for steering angle outputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dynamics/bicycle.hpp"
+#include "dynamics/obstacle.hpp"
+#include "dynamics/road.hpp"
+#include "safety/barrier.hpp"
+
+namespace seo {
+
+struct SafetyFilterConfig {
+  double horizon_s = 0.6;       ///< prediction horizon for engagement
+  double step_s = 0.02;         ///< rollout step
+  double engage_margin = 0.7;   ///< engage when predicted min h dips below
+  /// The effective engage margin scales with speed (the certificate
+  /// distance shrinks as the vehicle slows): margin * clamp(v/speed_ref,
+  /// min_margin_factor, 1).  Prevents low-speed engagement deadlock.
+  double speed_ref = 8.0;
+  double min_margin_factor = 0.3;
+  int steering_candidates = 17; ///< grid resolution over [-max_steer, max]
+  bool brake_assist = true;     ///< also consider braking while correcting
+  double brake_throttle = -0.6; ///< throttle used by brake assistance
+  /// Penalty subtracted from a corrective candidate's score per meter it
+  /// ends up beyond the road edge (admissible set U excludes leaving the
+  /// road); only used when a Road is supplied.
+  double off_road_penalty = 2.0;
+};
+
+/// Result of one filtering decision.
+struct FilterDecision {
+  Control control{};     ///< u' = Psi(x, u)
+  bool engaged = false;  ///< true when psi overrode the raw control
+  double h_now = 0.0;    ///< barrier value at the decision state
+  double h_predicted = 0.0;  ///< worst-case h along the chosen rollout
+};
+
+class SafetyFilter {
+ public:
+  /// `road`: when supplied, corrective candidates that would leave the
+  /// drivable band are penalized (never preferred over on-road candidates
+  /// of comparable safety).
+  SafetyFilter(SafetyFilterConfig config, BicycleModel model, Barrier barrier,
+               std::optional<Road> road = std::nullopt);
+
+  const SafetyFilterConfig& config() const { return config_; }
+  const Barrier& barrier() const { return barrier_; }
+
+  /// Filters a raw control: returns it unchanged when its rollout stays
+  /// clear of the barrier, otherwise substitutes the corrective action.
+  FilterDecision filter(const VehicleState& state, const ObstacleField& field,
+                        const Control& raw) const;
+
+  /// Cumulative number of engagements since construction.
+  std::uint64_t engagements() const { return engagements_; }
+
+ private:
+  struct RolloutEval {
+    double min_h = 0.0;           ///< worst barrier value along the rollout
+    double road_violation = 0.0;  ///< worst off-road excursion [m]
+  };
+
+  /// Worst-case barrier value and road excursion along a rollout of
+  /// `control` held for the horizon.
+  RolloutEval rollout(const VehicleState& state, const ObstacleField& field,
+                      const Control& control) const;
+
+  SafetyFilterConfig config_;
+  BicycleModel model_;
+  Barrier barrier_;
+  std::optional<Road> road_;
+  mutable std::uint64_t engagements_ = 0;
+};
+
+}  // namespace seo

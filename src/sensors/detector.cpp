@@ -1,0 +1,42 @@
+#include "sensors/detector.hpp"
+
+#include <cmath>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+SyntheticDetector::SyntheticDetector(DetectorConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  SEO_EXPECT(config_.max_range > 0.0);
+  SEO_EXPECT(config_.fov_half_angle > 0.0);
+  SEO_EXPECT(config_.position_noise >= 0.0);
+  SEO_EXPECT(config_.dropout_prob >= 0.0 && config_.dropout_prob < 1.0);
+}
+
+DetectionSet SyntheticDetector::detect(const VehicleState& ego,
+                                       const ObstacleField& field,
+                                       double frame_time) {
+  DetectionSet out;
+  out.frame_time = frame_time;
+  out.valid = true;
+  for (const auto& obstacle : field.obstacles()) {
+    const Vec2 rel = obstacle.center - ego.position;
+    const double range = rel.norm();
+    if (range > config_.max_range) continue;
+    const double bearing = wrap_angle(rel.angle() - ego.heading);
+    if (std::abs(bearing) > config_.fov_half_angle) continue;
+    if (config_.dropout_prob > 0.0 && rng_.bernoulli(config_.dropout_prob))
+      continue;
+    Detection d;
+    d.position = obstacle.center +
+                 Vec2{rng_.gaussian(0.0, config_.position_noise),
+                      rng_.gaussian(0.0, config_.position_noise)};
+    d.radius = obstacle.radius;
+    d.range = range;
+    out.detections.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace seo

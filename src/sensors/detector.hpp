@@ -1,0 +1,61 @@
+// Synthetic object detector — functional substitution for the paper's
+// pretrained ResNet-152 detectors.
+//
+// The real detectors' *outputs* (object positions) are what the downstream
+// controller consumes; their *cost* enters through the PX2 latency/power
+// characterization.  We therefore synthesize detections from simulator
+// ground truth (range-limited, field-of-view-limited, optionally noisy) and
+// charge the characterized cost, which preserves exactly the coupling the
+// paper studies: a gated/offloaded detector serves stale detections, which
+// degrades obstacle avoidance and in turn moves the vehicle's safety state.
+#pragma once
+
+#include <vector>
+
+#include "dynamics/obstacle.hpp"
+#include "dynamics/types.hpp"
+#include "util/rng.hpp"
+
+namespace seo {
+
+/// One detected object, in world coordinates.
+struct Detection {
+  Vec2 position{};      ///< estimated obstacle center
+  double radius = 0.0;  ///< estimated extent
+  double range = 0.0;   ///< distance from the sensing vehicle at detection
+};
+
+/// A detector output frame: the set of detections plus the timestamp of the
+/// *sensor frame* they were computed from (staleness = now - timestamp).
+struct DetectionSet {
+  std::vector<Detection> detections;
+  double frame_time = 0.0;
+  bool valid = false;  ///< false until the first inference completes
+};
+
+/// Field-of-view / range / noise model of the synthetic detector.
+struct DetectorConfig {
+  double max_range = 40.0;        ///< sensing range [m]
+  double fov_half_angle = 1.3;    ///< half field-of-view [rad] (~150 deg)
+  double position_noise = 0.05;   ///< 1-sigma position jitter [m]
+  double dropout_prob = 0.0;      ///< probability a visible object is missed
+};
+
+/// Deterministic-given-seed synthetic detector.
+class SyntheticDetector {
+ public:
+  SyntheticDetector(DetectorConfig config, Rng rng);
+
+  const DetectorConfig& config() const { return config_; }
+
+  /// Runs one "inference" on the current world snapshot: every obstacle
+  /// within range and FOV is reported (minus dropouts), with noise.
+  DetectionSet detect(const VehicleState& ego, const ObstacleField& field,
+                      double frame_time);
+
+ private:
+  DetectorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace seo

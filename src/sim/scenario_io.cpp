@@ -1,0 +1,118 @@
+#include "sim/scenario_io.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+namespace {
+OptimizerMode mode_from_string(const std::string& name) {
+  if (name == "local") return OptimizerMode::kNone;
+  if (name == "gating") return OptimizerMode::kGating;
+  if (name == "offload") return OptimizerMode::kOffload;
+  if (name == "scaled") return OptimizerMode::kScaled;
+  throw ContractViolation("unknown optimizer mode: " + name);
+}
+}  // namespace
+
+std::vector<std::string> apply_overrides(const KeyValueConfig& config,
+                                         ScenarioConfig& scenario) {
+  const std::vector<std::string> recognized = {
+      "tau_ms",        "deadline_cap",     "obstacles",
+      "obstacle_region", "filtered",       "mode",
+      "target_speed",  "channel_mbps",     "moving_obstacles",
+      "obstacle_osc_amplitude", "obstacle_osc_period",
+      "use_edge_server", "server_workers", "idle_w",
+      "tx_w",          "sensing_range",    "rate_gain",
+      "seed",          "use_lookup_table",
+  };
+
+  if (config.contains("tau_ms")) {
+    const double tau_s = config.get_double("tau_ms", 20.0) * 1e-3;
+    SEO_EXPECT(tau_s > 0.0);
+    // Rebuild the default pipeline rig on the new base period so sensor
+    // periods stay synchronized at p = tau and p = 2*tau.
+    const ScenarioConfig fresh = default_scenario(tau_s);
+    scenario.tau_s = fresh.tau_s;
+    scenario.pipelines = fresh.pipelines;
+  }
+  scenario.deadline_cap = config.get_int("deadline_cap",
+                                         scenario.deadline_cap);
+  scenario.obstacle_count = config.get_int("obstacles",
+                                           scenario.obstacle_count);
+  scenario.obstacle_region = config.get_double("obstacle_region",
+                                               scenario.obstacle_region);
+  scenario.filtered = config.get_bool("filtered", scenario.filtered);
+  if (config.contains("mode"))
+    scenario.mode = mode_from_string(config.get_string("mode"));
+  scenario.policy.target_speed = config.get_double(
+      "target_speed", scenario.policy.target_speed);
+  scenario.channel_scale_mbps = config.get_double(
+      "channel_mbps", scenario.channel_scale_mbps);
+  scenario.moving_obstacles = config.get_bool("moving_obstacles",
+                                              scenario.moving_obstacles);
+  scenario.obstacle_osc_amplitude = config.get_double(
+      "obstacle_osc_amplitude", scenario.obstacle_osc_amplitude);
+  scenario.obstacle_osc_period = config.get_double(
+      "obstacle_osc_period", scenario.obstacle_osc_period);
+  scenario.use_edge_server = config.get_bool("use_edge_server",
+                                             scenario.use_edge_server);
+  scenario.edge_server.parallelism = config.get_int(
+      "server_workers", scenario.edge_server.parallelism);
+  scenario.platform.idle_w = config.get_double("idle_w",
+                                               scenario.platform.idle_w);
+  scenario.link.tx_power_w = config.get_double("tx_w",
+                                               scenario.link.tx_power_w);
+  scenario.interval.sensing_range = config.get_double(
+      "sensing_range", scenario.interval.sensing_range);
+  scenario.interval.rate_gain = config.get_double("rate_gain",
+                                                  scenario.interval.rate_gain);
+  scenario.seed = static_cast<std::uint64_t>(
+      config.get_int("seed", static_cast<int>(scenario.seed)));
+  scenario.use_lookup_table = config.get_bool("use_lookup_table",
+                                              scenario.use_lookup_table);
+
+  std::vector<std::string> unknown;
+  for (const auto& key : config.keys()) {
+    if (std::find(recognized.begin(), recognized.end(), key) ==
+        recognized.end())
+      unknown.push_back(key);
+  }
+  return unknown;
+}
+
+std::string scenario_config_template() {
+  return R"(# SEO scenario configuration (key = value; '#' comments)
+# Timing
+tau_ms = 20            # base period [ms] (paper: 20; Table I: 25)
+deadline_cap = 4       # delta_max clamp (paper Fig. 6 domain)
+
+# Route / risk
+obstacles = 3          # number of obstacles in the final region
+obstacle_region = 0.3333  # final fraction of the 100 m route
+moving_obstacles = false  # pace obstacles laterally (dynamic environment)
+obstacle_osc_amplitude = 1.2
+obstacle_osc_period = 4.0
+
+# Control / optimization
+filtered = true        # safety filter active?
+mode = gating          # local | gating | offload | scaled
+target_speed = 8.5     # cruise speed [m/s]
+
+# Offloading substrate
+channel_mbps = 20      # Rayleigh scale (paper VI-A)
+use_edge_server = false
+server_workers = 2
+tx_w = 1.3
+
+# Platform / safety calibration
+idle_w = 2.5
+sensing_range = 40
+rate_gain = 6
+use_lookup_table = true
+seed = 42
+)";
+}
+
+}  // namespace seo

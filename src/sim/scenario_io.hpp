@@ -1,0 +1,28 @@
+// Scenario <-> text configuration bridge: apply key=value overrides to a
+// ScenarioConfig so experiments can be described in files (see
+// examples/custom_scenario and docs in README).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+#include "util/config.hpp"
+
+namespace seo {
+
+/// Applies recognized keys from `config` onto `scenario` (unrecognized keys
+/// are returned so callers can warn).  Recognized keys:
+///   tau_ms, deadline_cap, obstacles, obstacle_region, filtered, mode
+///   (local|gating|offload|scaled), episodes-independent scenario knobs:
+///   target_speed, channel_mbps, moving_obstacles, obstacle_osc_amplitude,
+///   obstacle_osc_period, use_edge_server, server_workers, idle_w, tx_w,
+///   sensing_range, rate_gain, seed, use_lookup_table.
+std::vector<std::string> apply_overrides(const KeyValueConfig& config,
+                                         ScenarioConfig& scenario);
+
+/// A documented template listing every recognized key with its default —
+/// written by examples when no config file exists yet.
+std::string scenario_config_template();
+
+}  // namespace seo

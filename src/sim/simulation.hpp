@@ -1,0 +1,60 @@
+// One closed-loop episode of the paper's Algorithm 1: state estimation ->
+// control -> safety filtering -> deadline sampling -> safety-aware
+// optimization of the Lambda' pipelines, with full energy tallying.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/tally.hpp"
+#include "sim/scenario.hpp"
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace seo {
+
+/// Per-pipeline outcome of one episode.
+struct PipelineResult {
+  std::string name;
+  int delta = 1;                   ///< discretized period delta_i
+  PipelineTally tally{4};
+  std::uint64_t offload_submitted = 0;
+  std::uint64_t offload_applied = 0;   ///< deadline slots met by remote results
+  std::uint64_t offload_fallbacks = 0; ///< late responses -> local re-invocation
+};
+
+/// Everything one episode produces.
+struct EpisodeResult {
+  // Outcome flags.
+  bool completed = false;  ///< reached the end of the route
+  bool collided = false;
+  bool off_road = false;
+  bool timed_out = false;
+  bool success() const { return completed && !collided && !off_road; }
+
+  // Driving metrics.
+  double duration_s = 0.0;
+  double progress_m = 0.0;
+  double avg_speed = 0.0;
+  double min_h = 0.0;            ///< worst barrier value along the run
+  std::uint64_t filter_engagements = 0;
+
+  // Deadline metrics (paper Fig. 6 / Table II).
+  IntHistogram deadline_hist;    ///< effective delta_max per interval
+  std::uint64_t intervals = 0;
+  std::uint64_t unconstrained_intervals = 0;
+  double mean_delta_max() const { return deadline_hist.mean(); }
+
+  // Energy metrics.
+  std::vector<PipelineResult> pipelines;  ///< Lambda' only
+};
+
+/// Runs one episode of `config`.  Deterministic for a fixed config
+/// (including seed).  When `trace` is non-null, a per-base-period telemetry
+/// sample is appended to it.
+EpisodeResult run_episode(const ScenarioConfig& config,
+                          EpisodeTrace* trace = nullptr);
+
+}  // namespace seo

@@ -1,0 +1,41 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace seo {
+
+std::string EpisodeTrace::to_csv() const {
+  std::ostringstream out;
+  out << "t,x,y,heading,speed,h,delta_max,unconstrained,interval_started,"
+         "engaged,steering,throttle,detection_age\n";
+  char line[512];
+  for (const auto& s : samples_) {
+    std::snprintf(line, sizeof line,
+                  "%.4f,%.4f,%.4f,%.5f,%.4f,%.4f,%d,%d,%d,%d,%.5f,%.4f,%.4f\n",
+                  s.t, s.position.x, s.position.y, s.heading, s.speed,
+                  s.barrier_h, s.delta_max, s.unconstrained ? 1 : 0,
+                  s.interval_started ? 1 : 0, s.filter_engaged ? 1 : 0,
+                  s.steering, s.throttle, s.detection_age_s);
+    out << line;
+  }
+  return out.str();
+}
+
+double EpisodeTrace::engagement_rate() const {
+  if (samples_.empty()) return 0.0;
+  const auto engaged = std::count_if(
+      samples_.begin(), samples_.end(),
+      [](const TraceSample& s) { return s.filter_engaged; });
+  return static_cast<double>(engaged) / static_cast<double>(samples_.size());
+}
+
+double EpisodeTrace::max_detection_age() const {
+  double worst = 0.0;
+  for (const auto& s : samples_)
+    worst = std::max(worst, s.detection_age_s);
+  return worst;
+}
+
+}  // namespace seo

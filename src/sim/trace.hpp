@@ -1,0 +1,51 @@
+// Episode telemetry: a per-base-period trace of the closed loop for
+// debugging, visualization and post-hoc analysis (CSV export).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dynamics/vec2.hpp"
+
+namespace seo {
+
+/// One base period of the runtime loop.
+struct TraceSample {
+  double t = 0.0;
+  Vec2 position{};
+  double heading = 0.0;
+  double speed = 0.0;
+  double barrier_h = 0.0;       ///< min barrier value at this state
+  int delta_max = 0;            ///< effective deadline of the interval
+  bool unconstrained = false;
+  bool interval_started = false;
+  bool filter_engaged = false;
+  double steering = 0.0;        ///< applied (post-filter) control
+  double throttle = 0.0;
+  double detection_age_s = 0.0; ///< staleness of the freshest Theta' entry
+};
+
+/// Growable recording of an episode; attach via ScenarioConfig::trace.
+class EpisodeTrace {
+ public:
+  void add(const TraceSample& sample) { samples_.push_back(sample); }
+  void clear() { samples_.clear(); }
+
+  const std::vector<TraceSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// CSV with a header row; one line per base period.
+  std::string to_csv() const;
+
+  /// Fraction of ticks with the filter engaged; 0 when empty.
+  double engagement_rate() const;
+  /// Worst detection staleness observed [s].
+  double max_detection_age() const;
+
+ private:
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace seo

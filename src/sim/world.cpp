@@ -1,0 +1,53 @@
+#include "sim/world.hpp"
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+World::World(Road road, ObstacleField obstacles, BicycleModel model,
+             VehicleState initial, double body_radius)
+    : road_(road),
+      obstacles_(std::move(obstacles)),
+      model_(std::move(model)),
+      state_(initial),
+      body_radius_(body_radius) {
+  SEO_EXPECT(body_radius >= 0.0);
+}
+
+World::World(Road road, MovingObstacleField obstacles, BicycleModel model,
+             VehicleState initial, double body_radius)
+    : road_(road),
+      motions_(std::move(obstacles)),
+      obstacles_(motions_.at(0.0)),
+      model_(std::move(model)),
+      state_(initial),
+      body_radius_(body_radius) {
+  SEO_EXPECT(body_radius >= 0.0);
+}
+
+void World::apply(const Control& u, double duration, int substeps) {
+  SEO_EXPECT(duration > 0.0);
+  SEO_EXPECT(substeps >= 1);
+  if (terminal()) return;
+
+  const double dt = duration / static_cast<double>(substeps);
+  for (int i = 0; i < substeps; ++i) {
+    state_ = model_.step(state_, u, dt);
+    time_ += dt;
+    if (dynamic_environment()) obstacles_ = motions_.at(time_);
+    if (obstacles_.collides(state_.position, body_radius_)) {
+      collided_ = true;
+      return;
+    }
+    if (road_.off_road(state_.position)) {
+      off_road_ = true;
+      return;
+    }
+    if (road_.finished(state_.position)) {
+      finished_ = true;
+      return;
+    }
+  }
+}
+
+}  // namespace seo

@@ -1,0 +1,59 @@
+// The simulated world: road + obstacles + ego vehicle physics + episode
+// termination conditions.  This is the CARLA substitution's "server side";
+// the Lambda'' state estimate is read from it directly, exactly as the
+// paper does ("we retrieve the state estimates needed by the safety
+// component directly from Carla for simplicity").
+#pragma once
+
+#include "dynamics/bicycle.hpp"
+#include "dynamics/motion.hpp"
+#include "dynamics/obstacle.hpp"
+#include "dynamics/road.hpp"
+
+namespace seo {
+
+class World {
+ public:
+  /// Static obstacle course (the paper's evaluation setting).
+  World(Road road, ObstacleField obstacles, BicycleModel model,
+        VehicleState initial, double body_radius);
+  /// Dynamic environment: obstacle positions follow their closed-form
+  /// trajectories as simulation time advances.
+  World(Road road, MovingObstacleField obstacles, BicycleModel model,
+        VehicleState initial, double body_radius);
+
+  const Road& road() const { return road_; }
+  const ObstacleField& obstacles() const { return obstacles_; }
+  const BicycleModel& model() const { return model_; }
+  const VehicleState& state() const { return state_; }
+  double time() const { return time_; }
+  double body_radius() const { return body_radius_; }
+
+  /// Advances physics by `duration` seconds under control `u`, split into
+  /// `substeps` RK4 steps, updating collision/termination flags after each
+  /// substep (so fast passes through obstacles cannot be missed).
+  void apply(const Control& u, double duration, int substeps);
+
+  bool collided() const { return collided_; }
+  bool off_road() const { return off_road_; }
+  bool finished() const { return finished_; }
+  bool terminal() const { return collided_ || off_road_ || finished_; }
+
+  /// True when the obstacle field is time-varying.
+  bool dynamic_environment() const { return !motions_.empty(); }
+  const MovingObstacleField& motions() const { return motions_; }
+
+ private:
+  Road road_;
+  MovingObstacleField motions_;  ///< empty for static worlds
+  ObstacleField obstacles_;      ///< current snapshot
+  BicycleModel model_;
+  VehicleState state_;
+  double body_radius_;
+  double time_ = 0.0;
+  bool collided_ = false;
+  bool off_road_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace seo

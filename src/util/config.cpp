@@ -1,0 +1,112 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+KeyValueConfig KeyValueConfig::parse(std::istream& in) {
+  KeyValueConfig config;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos)
+      throw ContractViolation("config line " + std::to_string(line_no) +
+                              " has no '=': " + trimmed);
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    SEO_EXPECT(!key.empty());
+    config.set(key, value);
+  }
+  return config;
+}
+
+KeyValueConfig KeyValueConfig::parse_string(const std::string& text) {
+  std::istringstream stream(text);
+  return parse(stream);
+}
+
+void KeyValueConfig::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool KeyValueConfig::contains(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string KeyValueConfig::get_string(const std::string& key,
+                                       const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double KeyValueConfig::get_double(const std::string& key,
+                                  double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(it->second, &consumed);
+    if (trim(it->second.substr(consumed)).empty()) return v;
+  } catch (const std::exception&) {
+  }
+  throw ContractViolation("config key '" + key + "' is not a number: " +
+                          it->second);
+}
+
+int KeyValueConfig::get_int(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const int v = std::stoi(it->second, &consumed);
+    if (trim(it->second.substr(consumed)).empty()) return v;
+  } catch (const std::exception&) {
+  }
+  throw ContractViolation("config key '" + key + "' is not an integer: " +
+                          it->second);
+}
+
+bool KeyValueConfig::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = lower(trim(it->second));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ContractViolation("config key '" + key + "' is not a bool: " +
+                          it->second);
+}
+
+std::vector<std::string> KeyValueConfig::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace seo

@@ -1,0 +1,47 @@
+// Minimal key=value configuration parser, so examples and downstream users
+// can describe scenarios in plain text files instead of recompiling.
+//
+// Format: one `key = value` per line; `#` starts a comment; whitespace is
+// trimmed; later keys override earlier ones.  Keys are free-form strings
+// (dotted namespacing by convention, e.g. "scenario.obstacle_count").
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seo {
+
+class KeyValueConfig {
+ public:
+  KeyValueConfig() = default;
+
+  /// Parses from a stream; throws ContractViolation on malformed lines
+  /// (missing '=' on a non-empty, non-comment line).
+  static KeyValueConfig parse(std::istream& in);
+  /// Parses from a string (convenience for tests).
+  static KeyValueConfig parse_string(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return values_.size(); }
+
+  /// Typed getters: return the parsed value, or `fallback` when the key is
+  /// absent.  Throw ContractViolation when present but unparseable.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  /// Accepts true/false/1/0/yes/no/on/off (case-insensitive).
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys, sorted (for diagnostics / unknown-key warnings).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace seo

@@ -1,0 +1,53 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Violations throw
+// seo::ContractViolation so tests can assert on them; they are never
+// compiled out, since every caller of this library is either a test, a
+// bench, or an example where a silent precondition breach would corrupt
+// an experiment.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace seo {
+
+/// Thrown when a precondition/postcondition/invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: (" + expr + ") at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace seo
+
+/// Precondition check: argument/state requirements at function entry.
+#define SEO_EXPECT(cond)                                               \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::seo::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                   __LINE__);                          \
+  } while (false)
+
+/// Postcondition check: guarantees at function exit.
+#define SEO_ENSURE(cond)                                               \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::seo::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                   __LINE__);                          \
+  } while (false)
+
+/// Internal invariant check.
+#define SEO_ASSERT(cond)                                               \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::seo::detail::contract_fail("invariant", #cond, __FILE__,       \
+                                   __LINE__);                          \
+  } while (false)

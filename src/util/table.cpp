@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace seo {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  // Compute column widths across header + all rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto scan = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  scan(header_);
+  for (const auto& r : rows_) scan(r);
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (std::size_t c = 0; c < cols; ++c)
+      s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      s += " " + cell + std::string(width[c] - cell.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << rule();
+  if (!header_.empty()) {
+    out << line(header_);
+    out << rule();
+  }
+  for (const auto& r : rows_) out << line(r);
+  out << rule();
+  return out.str();
+}
+
+std::string TextTable::render_csv() const {
+  auto csv_line = [](const std::vector<std::string>& row) {
+    std::string s;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) s += ",";
+      // Quote cells containing commas.
+      if (row[c].find(',') != std::string::npos)
+        s += "\"" + row[c] + "\"";
+      else
+        s += row[c];
+    }
+    return s + "\n";
+  };
+  std::string out;
+  if (!header_.empty()) out += csv_line(header_);
+  for (const auto& r : rows_) out += csv_line(r);
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+std::string render_bar_chart(
+    const std::vector<std::pair<std::string, double>>& series, int width) {
+  double peak = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : series) {
+    peak = std::max(peak, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, value] : series) {
+    const int bar =
+        peak <= 0.0 ? 0
+                    : static_cast<int>(value / peak * static_cast<double>(width));
+    out << label << std::string(label_width - label.size(), ' ') << " | "
+        << std::string(static_cast<std::size_t>(bar), '#') << " "
+        << fmt_double(value, 3) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace seo

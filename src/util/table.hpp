@@ -1,0 +1,43 @@
+// ASCII table + CSV rendering for the bench harness.  Every bench binary
+// prints the same rows the paper's table/figure reports, through this
+// formatter, so outputs are uniform and grep-able.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace seo {
+
+/// Column-aligned ASCII table with an optional title, mirroring the layout
+/// of the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Renders with box-drawing rules.  Ragged rows are padded.
+  std::string render() const;
+  /// Comma-separated rendering (header first) for machine consumption.
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 2);
+/// Percent formatting: 0.659 -> "65.9%".
+std::string fmt_percent(double fraction, int precision = 1);
+
+/// Renders a horizontal ASCII bar chart (used for Fig. 6 histograms):
+/// one line per (label, value) pair, bar scaled to `width` chars at the
+/// maximum value.
+std::string render_bar_chart(const std::vector<std::pair<std::string, double>>& series,
+                             int width = 40);
+
+}  // namespace seo

@@ -1,0 +1,26 @@
+// Unit conventions used throughout the library.
+//
+// Internally everything is SI: seconds, meters, radians, watts, joules,
+// bytes, bits-per-second.  These constexpr helpers exist so call sites can
+// state values in the units the paper uses (milliseconds, Mbps, KiB)
+// without sprinkling magic conversion factors.
+#pragma once
+
+namespace seo::units {
+
+/// Milliseconds -> seconds.
+constexpr double ms(double v) { return v * 1e-3; }
+/// Seconds -> milliseconds (for reporting).
+constexpr double to_ms(double seconds) { return seconds * 1e3; }
+/// Megabits-per-second -> bits-per-second.
+constexpr double mbps(double v) { return v * 1e6; }
+/// Kibibytes -> bytes.
+constexpr double kib(double v) { return v * 1024.0; }
+/// Bytes -> bits.
+constexpr double bits(double bytes) { return bytes * 8.0; }
+/// Kilometers-per-hour -> meters-per-second.
+constexpr double kmh(double v) { return v / 3.6; }
+/// Degrees -> radians.
+constexpr double deg(double v) { return v * 3.14159265358979323846 / 180.0; }
+
+}  // namespace seo::units

@@ -1,0 +1,355 @@
+// Tests for the SEO core: the eq. (4)/(5) discretizations, the Lambda
+// partition, and — most importantly — the Algorithm 1 scheduler invariants,
+// including the paper's central guarantee: every optimizable model produces
+// a fresh output no later than delta_max in every constrained interval.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "core/model_registry.hpp"
+#include "core/scheduler.hpp"
+#include "core/timebase.hpp"
+#include "sensors/sensor_spec.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace seo {
+namespace {
+
+// --- TimeBase (eqs. 4 and 5) -------------------------------------------------
+
+TEST(TimeBase, ExactlyDivisiblePeriods) {
+  const TimeBase t(0.02);
+  EXPECT_EQ(t.discretize_period(0.02), 1);
+  EXPECT_EQ(t.discretize_period(0.04), 2);
+  EXPECT_EQ(t.discretize_period(0.10), 5);
+}
+
+TEST(TimeBase, NonDivisiblePeriodsRoundUp) {
+  const TimeBase t(0.02);
+  EXPECT_EQ(t.discretize_period(0.03), 2);   // floor(1.5)+1
+  EXPECT_EQ(t.discretize_period(0.041), 3);  // floor(2.05)+1
+  EXPECT_EQ(t.discretize_period(0.005), 1);  // sub-period sensors -> 1
+}
+
+TEST(TimeBase, DivisibilityRobustToFloatNoise) {
+  // 40 ms / 20 ms must be exactly 2 even through floating-point division.
+  const TimeBase t(0.025);
+  EXPECT_EQ(t.discretize_period(0.05), 2);
+  EXPECT_EQ(t.discretize_period(0.075), 3);
+  // tau = 1/30 s sensors at 1/15 s.
+  const TimeBase t30(1.0 / 30.0);
+  EXPECT_EQ(t30.discretize_period(2.0 / 30.0), 2);
+}
+
+TEST(TimeBase, DeadlineFloors) {
+  const TimeBase t(0.02);
+  EXPECT_EQ(t.discretize_deadline(0.079), 3);
+  EXPECT_EQ(t.discretize_deadline(0.080), 4);
+  EXPECT_EQ(t.discretize_deadline(0.019), 0);
+  EXPECT_EQ(t.discretize_deadline(0.0), 0);
+}
+
+TEST(TimeBase, Contracts) {
+  EXPECT_THROW(TimeBase(0.0), ContractViolation);
+  const TimeBase t(0.02);
+  EXPECT_THROW(t.discretize_period(0.0), ContractViolation);
+  EXPECT_THROW(t.discretize_deadline(-0.1), ContractViolation);
+}
+
+// --- Model registry ----------------------------------------------------------
+
+std::vector<PipelineConfig> default_pipelines(double tau) {
+  PipelineConfig fast{"det1", zed_stereo_camera(tau), resnet152_px2(),
+                      Criticality::kOptimizable};
+  PipelineConfig slow{"det2", zed_stereo_camera(2 * tau), resnet152_px2(),
+                      Criticality::kOptimizable};
+  PipelineConfig vae{"vae", zed_stereo_camera(tau), vae_encoder_px2(),
+                     Criticality::kCritical};
+  return {fast, slow, vae};
+}
+
+TEST(ModelRegistry, PartitionsLambda) {
+  const TimeBase t(0.02);
+  const ModelRegistry reg(default_pipelines(0.02), t);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.optimizable(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(reg.critical(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(reg.optimizable_deltas(), (std::vector<int>{1, 2}));
+}
+
+TEST(ModelRegistry, SchedulabilityEnforced) {
+  // A 17 ms model on a 10 ms sensor can never keep up: rejected.
+  const TimeBase t(0.01);
+  PipelineConfig bad{"bad", zed_stereo_camera(0.01), resnet152_px2(),
+                     Criticality::kOptimizable};
+  EXPECT_THROW(ModelRegistry({bad}, t), ContractViolation);
+}
+
+TEST(ModelRegistry, Deltas) {
+  const TimeBase t(0.02);
+  const ModelRegistry reg(default_pipelines(0.02), t);
+  EXPECT_EQ(reg.delta(0), 1);
+  EXPECT_EQ(reg.delta(1), 2);
+  EXPECT_THROW(reg.delta(9), ContractViolation);
+}
+
+// --- Scheduler: deadline slots (eq. 6) ---------------------------------------
+
+struct DeadlineSlotCase {
+  int delta_i;
+  int delta_max;
+  int expected;  // -1 = no optimization authorized
+};
+
+class DeadlineSlotTest : public ::testing::TestWithParam<DeadlineSlotCase> {};
+
+TEST_P(DeadlineSlotTest, MatchesEquationSix) {
+  const auto& c = GetParam();
+  EXPECT_EQ(SeoScheduler::deadline_slot(c.delta_i, c.delta_max), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, DeadlineSlotTest,
+    ::testing::Values(DeadlineSlotCase{1, 1, -1}, DeadlineSlotCase{1, 2, 1},
+                      DeadlineSlotCase{1, 3, 2}, DeadlineSlotCase{1, 4, 3},
+                      DeadlineSlotCase{2, 1, -1}, DeadlineSlotCase{2, 2, -1},
+                      DeadlineSlotCase{2, 3, 0}, DeadlineSlotCase{2, 4, 2},
+                      DeadlineSlotCase{3, 4, 0}, DeadlineSlotCase{3, 6, 3},
+                      DeadlineSlotCase{2, 6, 4}, DeadlineSlotCase{4, 4, -1}));
+
+TEST(DeadlineSlot, GuaranteePropertyOverSweep) {
+  // Freshness guarantee: invoking N_i at the deadline slot means its output
+  // (one period of processing) lands by delta_max: ds + delta_i <= dmax.
+  for (int delta_i = 1; delta_i <= 8; ++delta_i) {
+    for (int dmax = 1; dmax <= 12; ++dmax) {
+      const int ds = SeoScheduler::deadline_slot(delta_i, dmax);
+      if (ds < 0) continue;  // eq. 6 else-branch: full-capacity operation
+      EXPECT_LE(ds + delta_i, dmax)
+          << "delta_i=" << delta_i << " dmax=" << dmax;
+      EXPECT_EQ(ds % delta_i, 0);  // must be an own-period frame tick
+      EXPECT_GE(ds, 0);
+    }
+  }
+}
+
+// --- Scheduler: interval state machine ---------------------------------------
+
+/// Drives the scheduler with a scripted sequence of deadline samples;
+/// returns the per-tick outputs.
+std::vector<SeoScheduler::Tick> drive(
+    SeoScheduler& scheduler, const std::vector<DeadlineSample>& script,
+    int ticks) {
+  std::size_t next = 0;
+  std::vector<SeoScheduler::Tick> out;
+  for (int i = 0; i < ticks; ++i) {
+    out.push_back(scheduler.tick([&]() -> DeadlineSample {
+      EXPECT_LT(next, script.size()) << "sampler over-probed";
+      return script[std::min(next++, script.size() - 1)];
+    }));
+  }
+  return out;
+}
+
+TEST(Scheduler, ConstrainedIntervalLengthEqualsDeltaMax) {
+  // With min delta_i = 1, an interval at delta_max = d spans exactly d
+  // base periods before a new sample is taken.
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1, 2});
+  const DeadlineSample d4{true, 0.085};  // floor -> 4
+  const auto ticks = drive(scheduler, {d4, d4, d4}, 9);
+  EXPECT_TRUE(ticks[0].interval_started);
+  for (int i = 1; i < 4; ++i) EXPECT_FALSE(ticks[i].interval_started);
+  EXPECT_TRUE(ticks[4].interval_started);
+  EXPECT_TRUE(ticks[8].interval_started);
+}
+
+TEST(Scheduler, SlotSequenceForDeltaMax4) {
+  // The Fig. 4 pattern: p=tau gates 3 then runs; p=2tau gates 1 then runs.
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1, 2});
+  const DeadlineSample d4{true, 0.08};
+  const auto ticks = drive(scheduler, {d4, d4}, 4);
+  // Pipeline 0 (delta=1): opt, opt, opt, deadline.
+  EXPECT_EQ(ticks[0].slots[0], SlotKind::kOptSlot);
+  EXPECT_EQ(ticks[1].slots[0], SlotKind::kOptSlot);
+  EXPECT_EQ(ticks[2].slots[0], SlotKind::kOptSlot);
+  EXPECT_EQ(ticks[3].slots[0], SlotKind::kDeadlineSlot);
+  // Pipeline 1 (delta=2): opt at 0, deadline at 2, no frames at odd ticks.
+  EXPECT_EQ(ticks[0].slots[1], SlotKind::kOptSlot);
+  EXPECT_EQ(ticks[1].slots[1], SlotKind::kNoFrame);
+  EXPECT_EQ(ticks[2].slots[1], SlotKind::kDeadlineSlot);
+  EXPECT_EQ(ticks[3].slots[1], SlotKind::kNoFrame);
+}
+
+TEST(Scheduler, DeltaMaxOneMeansFullCapacity) {
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1, 2});
+  const DeadlineSample d1{true, 0.02};
+  const auto ticks = drive(scheduler, {d1, d1, d1, d1}, 3);
+  // Every tick is its own interval; both pipelines mandatory at tick 0.
+  EXPECT_EQ(ticks[0].slots[0], SlotKind::kMandatoryLocal);
+  EXPECT_EQ(ticks[0].slots[1], SlotKind::kMandatoryLocal);
+  EXPECT_TRUE(ticks[1].interval_started);
+  EXPECT_EQ(ticks[1].slots[0], SlotKind::kMandatoryLocal);
+}
+
+TEST(Scheduler, DeltaMaxZeroClampsToOne) {
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1});
+  const DeadlineSample d0{true, 0.001};  // floor -> 0 -> clamp 1
+  const auto ticks = drive(scheduler, {d0, d0}, 2);
+  EXPECT_EQ(ticks[0].delta_max, 1);
+  EXPECT_EQ(ticks[0].slots[0], SlotKind::kMandatoryLocal);
+}
+
+TEST(Scheduler, UnconstrainedUsesCapAndFlags) {
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1, 2});
+  const DeadlineSample open{false, 0.0};
+  const auto ticks = drive(scheduler, {open, open}, 4);
+  EXPECT_TRUE(ticks[0].unconstrained);
+  EXPECT_EQ(ticks[0].delta_max, 4);
+  EXPECT_EQ(ticks[3].slots[0], SlotKind::kDeadlineSlot);
+}
+
+TEST(Scheduler, DeadlineAboveCapIsClamped) {
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1});
+  const DeadlineSample huge{true, 1.0};  // 50 periods
+  const auto ticks = drive(scheduler, {huge, huge}, 1);
+  EXPECT_EQ(ticks[0].delta_max, 4);
+  EXPECT_FALSE(ticks[0].unconstrained);
+}
+
+TEST(Scheduler, PostDoneFramesForSlowPipeline) {
+  // delta_max = 3 with deltas {1, 2}: pipeline 1's deadline slot is 0, its
+  // n=2 frame is a post-done natural-schedule local run.
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1, 2});
+  const DeadlineSample d3{true, 0.065};
+  const auto ticks = drive(scheduler, {d3, d3}, 3);
+  EXPECT_EQ(ticks[0].slots[1], SlotKind::kDeadlineSlot);  // ds = 0
+  EXPECT_EQ(ticks[2].slots[1], SlotKind::kPostDoneLocal);
+  // Pipeline 0: opt, opt, deadline.
+  EXPECT_EQ(ticks[0].slots[0], SlotKind::kOptSlot);
+  EXPECT_EQ(ticks[2].slots[0], SlotKind::kDeadlineSlot);
+}
+
+TEST(Scheduler, SamplerProbedOncePerInterval) {
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1});
+  int probes = 0;
+  for (int i = 0; i < 12; ++i) {
+    scheduler.tick([&] {
+      ++probes;
+      return DeadlineSample{true, 0.06};  // delta_max = 3
+    });
+  }
+  EXPECT_EQ(probes, 4);  // 12 ticks / 3-tick intervals
+}
+
+TEST(Scheduler, Contracts) {
+  const TimeBase t(0.02);
+  EXPECT_THROW(SeoScheduler({0}, t, {1}), ContractViolation);
+  EXPECT_THROW(SeoScheduler({4}, t, {}), ContractViolation);
+  EXPECT_THROW(SeoScheduler({4}, t, {0}), ContractViolation);
+  EXPECT_THROW(SeoScheduler::deadline_slot(0, 4), ContractViolation);
+}
+
+// --- Scheduler: randomized long-run invariants -------------------------------
+
+TEST(Scheduler, RandomizedInvariantSweep) {
+  // Long random run over random pipeline sets and deadline scripts.
+  // Invariants checked every tick:
+  //  (1) frames appear exactly at own-period multiples of the interval tick;
+  //  (2) within a constrained interval, every pipeline produces a mandatory
+  //      output (deadline slot or mandatory local) no later than tick
+  //      delta_max - delta_i;
+  //  (3) opt slots appear only before the pipeline's deadline slot.
+  Rng rng(71);
+  for (int config_trial = 0; config_trial < 10; ++config_trial) {
+    const int n_pipes = rng.uniform_int(1, 4);
+    std::vector<int> deltas;
+    for (int i = 0; i < n_pipes; ++i) deltas.push_back(rng.uniform_int(1, 3));
+    const int cap = rng.uniform_int(2, 6);
+    const TimeBase t(0.02);
+    SeoScheduler scheduler({cap}, t, deltas);
+
+    std::vector<bool> produced(deltas.size(), false);
+    int current_dmax = 0;
+    for (int tick_i = 0; tick_i < 5000; ++tick_i) {
+      const auto tick = scheduler.tick([&]() -> DeadlineSample {
+        if (rng.bernoulli(0.2)) return DeadlineSample{false, 0.0};
+        return DeadlineSample{true, rng.uniform(0.0, 0.15)};
+      });
+      if (tick.interval_started) {
+        // Invariant 2 for the PREVIOUS interval was checked at its end.
+        current_dmax = tick.delta_max;
+        std::fill(produced.begin(), produced.end(), false);
+      }
+      bool all_done = true;
+      for (std::size_t p = 0; p < deltas.size(); ++p) {
+        const SlotKind kind = tick.slots[p];
+        const bool frame_tick = tick.interval_tick % deltas[p] == 0;
+        EXPECT_EQ(kind != SlotKind::kNoFrame, frame_tick);  // invariant 1
+        if (kind == SlotKind::kDeadlineSlot ||
+            kind == SlotKind::kMandatoryLocal) {
+          // invariant 2: output lands by delta_max.
+          if (kind == SlotKind::kDeadlineSlot) {
+            EXPECT_LE(tick.interval_tick + deltas[p], current_dmax);
+          }
+          produced[p] = true;
+        }
+        if (kind == SlotKind::kOptSlot) {  // invariant 3
+          const int ds = SeoScheduler::deadline_slot(deltas[p], current_dmax);
+          ASSERT_GE(ds, 0);
+          EXPECT_LT(tick.interval_tick, ds);
+          EXPECT_FALSE(produced[p]);
+        }
+        if (!produced[p]) all_done = false;
+      }
+      // invariant: interval cannot outlive the cap.
+      EXPECT_LT(tick.interval_tick, cap);
+      (void)all_done;
+    }
+  }
+}
+
+TEST(Scheduler, EveryConstrainedIntervalProducesAllOutputs) {
+  // Stronger end-to-end form of the freshness guarantee: count mandatory
+  // productions per interval over a random run; every finished interval
+  // must have one per pipeline.
+  Rng rng(73);
+  const TimeBase t(0.02);
+  SeoScheduler scheduler({4}, t, {1, 2, 3});
+  std::vector<int> productions;
+  int intervals_finished = -1;  // skip bookkeeping before first interval
+  std::vector<bool> produced;
+  for (int i = 0; i < 20000; ++i) {
+    const auto tick = scheduler.tick([&]() -> DeadlineSample {
+      return DeadlineSample{rng.bernoulli(0.8), rng.uniform(0.0, 0.12)};
+    });
+    if (tick.interval_started) {
+      if (intervals_finished >= 0) {
+        // previous interval closed: all pipelines must have produced.
+        for (std::size_t p = 0; p < produced.size(); ++p)
+          EXPECT_TRUE(produced[p]) << "pipeline " << p << " starved";
+      }
+      ++intervals_finished;
+      produced.assign(3, false);
+    }
+    for (std::size_t p = 0; p < 3; ++p) {
+      const SlotKind kind = tick.slots[p];
+      if (kind == SlotKind::kDeadlineSlot ||
+          kind == SlotKind::kMandatoryLocal ||
+          kind == SlotKind::kPostDoneLocal)
+        produced[p] = true;
+    }
+  }
+  EXPECT_GT(intervals_finished, 4000);
+}
+
+}  // namespace
+}  // namespace seo

@@ -1,0 +1,254 @@
+// Integration tests: whole-system properties spanning scheduler, safety
+// stack, energy model and simulator — the claims the paper actually makes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scheduler.hpp"
+#include "energy/report.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulation.hpp"
+
+namespace seo {
+namespace {
+
+ScenarioConfig scenario(OptimizerMode mode, bool filtered, int obstacles) {
+  ScenarioConfig c = default_scenario();
+  c.mode = mode;
+  c.filtered = filtered;
+  c.obstacle_count = obstacles;
+  return c;
+}
+
+ExperimentResult run(const ScenarioConfig& s, int episodes = 8,
+                     std::uint64_t seed = 400) {
+  ExperimentConfig ec;
+  ec.scenario = s;
+  ec.episodes = episodes;
+  ec.base_seed = seed;
+  return run_experiment(ec);
+}
+
+TEST(Integration, FilteredEpisodesNeverCollide) {
+  // The paper's core claim: with the safety filter active, optimizations
+  // never cost safety — across modes and risk levels.
+  for (const auto mode : {OptimizerMode::kNone, OptimizerMode::kGating,
+                          OptimizerMode::kOffload}) {
+    for (const int obstacles : {2, 4}) {
+      ScenarioConfig c = scenario(mode, /*filtered=*/true, obstacles);
+      for (std::uint64_t seed = 900; seed < 915; ++seed) {
+        c.seed = seed;
+        const EpisodeResult r = run_episode(c);
+        EXPECT_FALSE(r.collided)
+            << to_string(mode) << " obstacles=" << obstacles
+            << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(Integration, FilteredKeepsBarrierNonNegative) {
+  ScenarioConfig c = scenario(OptimizerMode::kGating, true, 3);
+  for (std::uint64_t seed = 930; seed < 940; ++seed) {
+    c.seed = seed;
+    const EpisodeResult r = run_episode(c);
+    if (!r.success()) continue;
+    EXPECT_GT(r.min_h, 0.0) << "seed=" << seed;
+  }
+}
+
+TEST(Integration, ZeroObstacleGatingMatchesClosedForm) {
+  // Empty road -> every interval unconstrained at the cap (4): the p=tau
+  // pipeline gates 3 of 4 frames; gain = 3/4 * (1 - E_gated/E_local).
+  const ScenarioConfig c = scenario(OptimizerMode::kGating, false, 0);
+  const ExperimentResult r = run(c, 4);
+  const double e_local =
+      local_frame_energy_j(resnet152_px2(), c.tau_s, c.platform);
+  const double e_gated = gated_frame_energy_j(c.tau_s, c.platform);
+  const double expected = 0.75 * (1.0 - e_gated / e_local);
+  EXPECT_NEAR(r.pipeline_model_energy(0, c.platform).gain(), expected, 0.01);
+
+  // p=2tau: 1 of 2 frames gated.
+  const double e_local2 =
+      local_frame_energy_j(resnet152_px2(), 2 * c.tau_s, c.platform);
+  const double e_gated2 = gated_frame_energy_j(2 * c.tau_s, c.platform);
+  const double expected2 = 0.5 * (1.0 - e_gated2 / e_local2);
+  EXPECT_NEAR(r.pipeline_model_energy(1, c.platform).gain(), expected2, 0.01);
+}
+
+TEST(Integration, ZeroObstacleOffloadApproachesRadioFloor) {
+  // Empty road, streaming offload: gain -> 1 - E_tx/E_local (paper Table
+  // II's 88.6-89.9% regime).
+  const ScenarioConfig c = scenario(OptimizerMode::kOffload, false, 0);
+  const ExperimentResult r = run(c, 4);
+  const double gain = r.combined_model_energy(c.platform).gain();
+  EXPECT_GT(gain, 0.82);
+  EXPECT_LT(gain, 0.95);
+  // And essentially no local inferences beyond warmup fallbacks.
+  for (const auto& p : r.pipelines) {
+    const auto total = p.tally.total();
+    EXPECT_LT(static_cast<double>(total.local_frames()),
+              0.05 * static_cast<double>(total.total_frames()));
+  }
+}
+
+TEST(Integration, OffloadBeatsGatingBeatsNothing) {
+  const ScenarioConfig gate = scenario(OptimizerMode::kGating, true, 2);
+  const ScenarioConfig off = scenario(OptimizerMode::kOffload, true, 2);
+  const ScenarioConfig none = scenario(OptimizerMode::kNone, true, 2);
+  const double g_gate = run(gate).combined_model_energy(gate.platform).gain();
+  const double g_off = run(off).combined_model_energy(off.platform).gain();
+  const double g_none = run(none).combined_model_energy(none.platform).gain();
+  EXPECT_GT(g_off, g_gate);
+  EXPECT_GT(g_gate, 0.1);
+  EXPECT_DOUBLE_EQ(g_none, 0.0);
+}
+
+TEST(Integration, FasterSensorGainsMore) {
+  // Paper observation 1 (Fig. 5): the p=tau detector benefits more than
+  // its p=2tau counterpart.
+  for (const auto mode : {OptimizerMode::kGating, OptimizerMode::kOffload}) {
+    const ScenarioConfig c = scenario(mode, true, 2);
+    const ExperimentResult r = run(c);
+    EXPECT_GT(r.pipeline_model_energy(0, c.platform).gain(),
+              r.pipeline_model_energy(1, c.platform).gain())
+        << to_string(mode);
+  }
+}
+
+TEST(Integration, FilteredSamplesLargerDeadlines) {
+  // Paper observation 2 (Fig. 5): the filter maintains healthy distances,
+  // so larger delta_max values are sampled.
+  const ExperimentResult unfiltered =
+      run(scenario(OptimizerMode::kGating, false, 3));
+  const ExperimentResult filtered =
+      run(scenario(OptimizerMode::kGating, true, 3));
+  EXPECT_GT(filtered.mean_delta_max(), unfiltered.mean_delta_max());
+  EXPECT_GT(filtered.min_h.mean(), unfiltered.min_h.mean());
+}
+
+TEST(Integration, RiskMonotonicity) {
+  // Paper Fig. 6 / Table II: more obstacles -> smaller deadlines -> fewer
+  // gains, with both metrics monotone.
+  double prev_gain = 1e9, prev_dmax = 1e9;
+  for (const int obstacles : {0, 2, 4}) {
+    const ScenarioConfig c = scenario(OptimizerMode::kGating, false,
+                                      obstacles);
+    const ExperimentResult r = run(c);
+    const double gain = r.combined_model_energy(c.platform).gain();
+    EXPECT_LT(gain, prev_gain) << obstacles;
+    EXPECT_LE(r.mean_delta_max(), prev_dmax + 1e-9) << obstacles;
+    prev_gain = gain;
+    prev_dmax = r.mean_delta_max();
+  }
+}
+
+TEST(Integration, HistogramShiftsLeftWithRisk) {
+  // delta_max = 4 frequency decays with obstacle count (paper Fig. 6).
+  double prev_freq4 = 1.1;
+  for (const int obstacles : {0, 2, 4}) {
+    const ExperimentResult r =
+        run(scenario(OptimizerMode::kGating, false, obstacles));
+    const double f4 = r.deadline_hist.frequency(4);
+    EXPECT_LT(f4, prev_freq4) << obstacles;
+    prev_freq4 = f4;
+  }
+}
+
+TEST(Integration, BadChannelCostsEnergyNotSafety) {
+  ScenarioConfig good = scenario(OptimizerMode::kOffload, true, 2);
+  good.channel_scale_mbps = 40.0;
+  ScenarioConfig bad = good;
+  bad.channel_scale_mbps = 2.0;
+  const ExperimentResult rg = run(good, 6);
+  const ExperimentResult rb = run(bad, 6);
+  EXPECT_GT(rg.combined_model_energy(good.platform).gain(),
+            rb.combined_model_energy(bad.platform).gain());
+  // Bad channel leans on local execution (infeasible offloads + fallbacks),
+  // so it submits far fewer transactions per frame.
+  const double per_frame_good =
+      static_cast<double>(rg.pipelines[0].offload_submitted) /
+      static_cast<double>(rg.pipelines[0].tally.total_frames());
+  const double per_frame_bad =
+      static_cast<double>(rb.pipelines[0].offload_submitted) /
+      static_cast<double>(rb.pipelines[0].tally.total_frames());
+  EXPECT_GT(per_frame_good, per_frame_bad);
+}
+
+TEST(Integration, SensorGatingOrderingMatchesPaperTableIII) {
+  // Camera gains > radar gains > lidar gains at equal schedules, because
+  // P_mech resists gating and P_meas amplifies it.
+  const ScenarioConfig c = scenario(OptimizerMode::kGating, true, 2);
+  const ExperimentResult r = run(c);
+  const PerceptionModelSpec model = resnet152_px2();
+  const auto& tally = r.pipelines[0].tally;  // p = tau
+  const double cam =
+      sensor_gating_energy(tally, zed_stereo_camera(c.tau_s), model).gain();
+  const double radar =
+      sensor_gating_energy(tally, navtech_cts350x_radar(c.tau_s), model)
+          .gain();
+  const double lidar =
+      sensor_gating_energy(tally, velodyne_hdl32e_lidar(c.tau_s), model)
+          .gain();
+  EXPECT_GT(cam, radar);
+  EXPECT_GT(radar, lidar);
+  EXPECT_GT(lidar, 0.0);
+}
+
+TEST(Integration, TauCoarseningShrinksGains) {
+  // Paper Table I vs Fig. 5: tau=25 ms yields smaller gains than 20 ms.
+  const ScenarioConfig fine = scenario(OptimizerMode::kGating, true, 2);
+  ScenarioConfig coarse = default_scenario(0.025);
+  coarse.mode = OptimizerMode::kGating;
+  coarse.filtered = true;
+  coarse.obstacle_count = 2;
+  const ExperimentResult rf = run(fine);
+  const ExperimentResult rc = run(coarse);
+  EXPECT_GT(rf.combined_model_energy(fine.platform).gain(),
+            rc.combined_model_energy(coarse.platform).gain());
+}
+
+TEST(Integration, DeadlineGuaranteeHoldsInEveryBucket) {
+  // For every constrained bucket of every pipeline: each interval had a
+  // mandatory local inference, so local_deadline (+ scheduled for
+  // delta_i >= delta_max buckets) is at least the interval count implied
+  // by the gated/offloaded frames.
+  for (const auto mode : {OptimizerMode::kGating, OptimizerMode::kOffload}) {
+    const ScenarioConfig c = scenario(mode, true, 3);
+    const ExperimentResult r = run(c);
+    for (const auto& p : r.pipelines) {
+      for (int d = 1; d <= c.deadline_cap; ++d) {
+        const auto& b = p.tally.constrained(d);
+        if (b.total_frames() == 0) continue;
+        const int ds = SeoScheduler::deadline_slot(p.delta, d);
+        if (ds < 0) {
+          // Full-capacity bucket: nothing may be gated or offloaded.
+          EXPECT_EQ(b.non_local_frames(), 0u)
+              << to_string(mode) << " " << p.name << " d=" << d;
+        } else {
+          // Optimized bucket: opt-slot frames per interval = ds/delta_i,
+          // and every interval ends with a mandatory local inference.
+          EXPECT_GT(b.local_deadline + b.local_scheduled, 0u)
+              << to_string(mode) << " " << p.name << " d=" << d;
+          if (b.local_deadline > 0) {
+            const double opt_per_interval =
+                static_cast<double>(ds) / p.delta;
+            // Episodes may terminate mid-interval (collision zone ends the
+            // run after opt slots but before the deadline slot), so allow
+            // one partial interval of slack per aggregated episode.
+            const double partial_slack =
+                opt_per_interval * static_cast<double>(r.episodes_used);
+            const double intervals =
+                static_cast<double>(b.local_deadline);
+            EXPECT_LE(static_cast<double>(b.gated + b.offload_tx),
+                      opt_per_interval * intervals + partial_slack + 1e-9)
+                << to_string(mode) << " " << p.name << " d=" << d;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seo

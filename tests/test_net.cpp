@@ -1,0 +1,154 @@
+// Unit tests for the wireless offloading substrate: channel models, the
+// offload link's timing/energy accounting, and the delta-hat estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "net/channel.hpp"
+#include "net/offload_link.hpp"
+#include "net/response_estimator.hpp"
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace seo {
+namespace {
+
+TEST(RayleighChannel, MeanRateMatchesScale) {
+  RayleighChannel channel(units::mbps(20.0));
+  Rng rng(3);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(channel.sample_rate_bps(rng));
+  EXPECT_NEAR(s.mean(), units::mbps(20.0) * std::sqrt(std::numbers::pi / 2.0),
+              units::mbps(0.3));
+}
+
+TEST(RayleighChannel, FloorPreventsZeroRates) {
+  RayleighChannel channel(units::mbps(1.0), /*floor=*/units::mbps(0.5));
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i)
+    EXPECT_GE(channel.sample_rate_bps(rng), units::mbps(0.5));
+}
+
+TEST(RayleighChannel, RejectsBadConfig) {
+  EXPECT_THROW(RayleighChannel(0.0), ContractViolation);
+  EXPECT_THROW(RayleighChannel(1e6, 2e6), ContractViolation);
+}
+
+TEST(FixedChannel, DeterministicRate) {
+  FixedChannel channel(units::mbps(10.0));
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(channel.sample_rate_bps(rng), 1e7);
+  EXPECT_THROW(FixedChannel(0.0), ContractViolation);
+}
+
+TEST(OffloadLink, ResponseTimingIsUplinkPlusServerPlusDownlink) {
+  FixedChannel channel(units::mbps(16.0));  // 2 MB/s
+  OffloadLinkParams params;
+  params.server_latency_s = 0.005;
+  params.downlink_latency_s = 0.001;
+  OffloadLink link(params, channel, Rng(6));
+
+  // 32 KiB at 16 Mbps: 262144 bits / 16e6 = 16.384 ms uplink.
+  const auto tx = link.submit(0, units::kib(32.0), /*frame_time=*/1.0,
+                              /*now=*/2.0);
+  EXPECT_NEAR(tx.tx_time_s, 0.016384, 1e-9);
+  EXPECT_NEAR(tx.response_time, 2.0 + 0.016384 + 0.006, 1e-9);
+  EXPECT_DOUBLE_EQ(tx.frame_time, 1.0);
+  EXPECT_EQ(link.in_flight(), 1u);
+}
+
+TEST(OffloadLink, CollectArrivalsRespectsTimeAndOrders) {
+  FixedChannel channel(units::mbps(16.0));
+  OffloadLink link(OffloadLinkParams{}, channel, Rng(7));
+  const auto early = link.submit(0, units::kib(8.0), 0.0, 0.0);
+  const auto late = link.submit(1, units::kib(64.0), 0.0, 0.0);
+  ASSERT_LT(early.response_time, late.response_time);
+
+  EXPECT_TRUE(link.collect_arrivals(early.response_time - 1e-6).empty());
+  const auto first = link.collect_arrivals(early.response_time);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].id, early.id);
+  EXPECT_EQ(link.in_flight(), 1u);
+
+  const auto rest = link.collect_arrivals(1e9);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].id, late.id);
+  EXPECT_EQ(link.in_flight(), 0u);
+}
+
+TEST(OffloadLink, RadioEnergyIsTxTimeTimesPower) {
+  FixedChannel channel(units::mbps(8.0));
+  OffloadLinkParams params;
+  params.tx_power_w = 1.3;
+  OffloadLink link(params, channel, Rng(8));
+  const auto a = link.submit(0, units::kib(16.0), 0.0, 0.0);
+  const auto b = link.submit(0, units::kib(16.0), 0.0, 0.1);
+  EXPECT_NEAR(link.radio_energy_j(), (a.tx_time_s + b.tx_time_s) * 1.3,
+              1e-12);
+}
+
+TEST(OffloadLink, CancelPipelineDropsOnlyThatPipeline) {
+  FixedChannel channel(units::mbps(8.0));
+  OffloadLink link(OffloadLinkParams{}, channel, Rng(9));
+  link.submit(0, units::kib(16.0), 0.0, 0.0);
+  link.submit(1, units::kib(16.0), 0.0, 0.0);
+  link.submit(0, units::kib(16.0), 0.0, 0.0);
+  EXPECT_EQ(link.cancel_pipeline(0), 2u);
+  EXPECT_EQ(link.in_flight(), 1u);
+  // Energy was still spent on the cancelled uplinks.
+  EXPECT_GT(link.radio_energy_j(), 0.0);
+}
+
+TEST(OffloadLink, RejectsEmptyFrames) {
+  FixedChannel channel(units::mbps(8.0));
+  OffloadLink link(OffloadLinkParams{}, channel, Rng(10));
+  EXPECT_THROW(link.submit(0, 0.0, 0.0, 0.0), ContractViolation);
+}
+
+TEST(ResponseEstimator, StartsAtPrior) {
+  const ResponseEstimator est(0.02, 0.25, 1.0);
+  EXPECT_DOUBLE_EQ(est.mean_s(), 0.02);
+  EXPECT_DOUBLE_EQ(est.estimate_s(), 0.02);
+  EXPECT_EQ(est.observations(), 0u);
+}
+
+TEST(ResponseEstimator, ConvergesToConstantInput) {
+  ResponseEstimator est(0.1, 0.25, 1.0);
+  for (int i = 0; i < 100; ++i) est.observe(0.02);
+  EXPECT_NEAR(est.mean_s(), 0.02, 1e-6);
+  EXPECT_EQ(est.observations(), 100u);
+}
+
+TEST(ResponseEstimator, SafetyFactorInflatesEstimate) {
+  ResponseEstimator est(0.02, 0.25, 1.5);
+  EXPECT_DOUBLE_EQ(est.estimate_s(), 0.03);
+}
+
+TEST(ResponseEstimator, PeriodsAreCeiling) {
+  ResponseEstimator est(0.021, 0.25, 1.0);
+  EXPECT_EQ(est.estimate_periods(0.02), 2);   // 21 ms -> 2 periods
+  ResponseEstimator exact(0.02, 0.25, 1.0);
+  EXPECT_EQ(exact.estimate_periods(0.02), 1);  // 20 ms -> 1 period
+}
+
+TEST(ResponseEstimator, Contracts) {
+  EXPECT_THROW(ResponseEstimator(0.0), ContractViolation);
+  EXPECT_THROW(ResponseEstimator(0.01, 0.0), ContractViolation);
+  EXPECT_THROW(ResponseEstimator(0.01, 0.5, 0.9), ContractViolation);
+  ResponseEstimator est(0.01);
+  EXPECT_THROW(est.observe(0.0), ContractViolation);
+  EXPECT_THROW(est.estimate_periods(0.0), ContractViolation);
+}
+
+TEST(ResponseEstimator, EwmaWeightsNewestObservation) {
+  ResponseEstimator est(0.010, 0.5, 1.0);
+  est.observe(0.030);
+  EXPECT_NEAR(est.mean_s(), 0.020, 1e-12);
+  est.observe(0.040);
+  EXPECT_NEAR(est.mean_s(), 0.030, 1e-12);
+}
+
+}  // namespace
+}  // namespace seo

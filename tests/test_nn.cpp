@@ -1,0 +1,270 @@
+// Unit + property tests for the NN engine: linear algebra, activations
+// (finite-difference derivative checks), MLP forward/backward/serialization,
+// and the CEM optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/activation.hpp"
+#include "nn/cem.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "util/expect.hpp"
+
+namespace seo::nn {
+namespace {
+
+TEST(Matrix, MatvecKnownValues) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]^T
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  const Vector y = m.matvec({1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, TransposedMatvec) {
+  Matrix m(2, 3);
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  const Vector y = m.matvec_transposed({1.0, 1.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 9.0);
+}
+
+TEST(Matrix, AddOuterAccumulates) {
+  Matrix m(2, 2);
+  m.add_outer({1.0, 2.0}, {3.0, 4.0}, 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(Matrix, DimensionContracts) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.matvec({1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(m.at(2, 0), ContractViolation);
+  EXPECT_THROW(Matrix(0, 3), ContractViolation);
+}
+
+TEST(VectorOps, Basics) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(l2_norm({3, 4}), 5.0);
+  const Vector s = add({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+  Vector y{1.0, 1.0};
+  axpy(2.0, {1.0, 3.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), ContractViolation);
+}
+
+class ActivationDerivativeTest : public ::testing::TestWithParam<Activation> {
+};
+
+TEST_P(ActivationDerivativeTest, MatchesFiniteDifference) {
+  const Activation act = GetParam();
+  const Vector pre{-2.0, -0.5, 0.1, 0.7, 2.3};
+  const Vector analytic = activation_derivative(act, pre);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < pre.size(); ++i) {
+    Vector plus = pre, minus = pre;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double numeric = (apply_activation(act, plus)[i] -
+                            apply_activation(act, minus)[i]) /
+                           (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-5)
+        << to_string(act) << " at " << pre[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationDerivativeTest,
+                         ::testing::Values(Activation::kIdentity,
+                                           Activation::kTanh,
+                                           Activation::kRelu,
+                                           Activation::kSigmoid));
+
+TEST(Activation, StringRoundTrip) {
+  for (const Activation a : {Activation::kIdentity, Activation::kTanh,
+                             Activation::kRelu, Activation::kSigmoid})
+    EXPECT_EQ(activation_from_string(to_string(a)), a);
+  EXPECT_THROW(activation_from_string("swish"), std::invalid_argument);
+}
+
+MlpConfig small_config() {
+  return MlpConfig{{3, 5, 2}, Activation::kTanh, Activation::kIdentity};
+}
+
+TEST(Mlp, ParameterCountFormula) {
+  const Mlp net(small_config());
+  EXPECT_EQ(net.parameter_count(), 3u * 5 + 5 + 5 * 2 + 2);
+}
+
+TEST(Mlp, ForwardDeterministicAndSized) {
+  Rng rng(5);
+  Mlp net(small_config());
+  net.init_xavier(rng);
+  const Vector out1 = net.forward({0.1, -0.2, 0.3});
+  const Vector out2 = net.forward({0.1, -0.2, 0.3});
+  ASSERT_EQ(out1.size(), 2u);
+  EXPECT_EQ(out1, out2);
+  EXPECT_THROW(net.forward({1.0}), ContractViolation);
+}
+
+TEST(Mlp, FlattenSetRoundTrip) {
+  Rng rng(6);
+  Mlp net(small_config());
+  net.init_xavier(rng);
+  const Vector flat = net.flatten_parameters();
+  Mlp other(small_config());
+  other.set_parameters(flat);
+  EXPECT_EQ(other.forward({0.3, 0.3, 0.3}), net.forward({0.3, 0.3, 0.3}));
+  EXPECT_THROW(other.set_parameters(Vector(3, 0.0)), ContractViolation);
+}
+
+TEST(Mlp, SaveLoadRoundTrip) {
+  Rng rng(7);
+  Mlp net(MlpConfig{{4, 8, 8, 2}, Activation::kRelu, Activation::kTanh});
+  net.init_xavier(rng);
+  std::stringstream stream;
+  net.save(stream);
+  const Mlp loaded = Mlp::load(stream);
+  const Vector in{0.1, 0.2, -0.3, 0.4};
+  const Vector a = net.forward(in);
+  const Vector b = loaded.forward(in);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-15);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifference) {
+  // Backprop correctness: compare d(loss)/d(theta) against central
+  // differences on a tiny network.
+  Rng rng(8);
+  Mlp net(MlpConfig{{2, 3, 1}, Activation::kTanh, Activation::kIdentity});
+  net.init_xavier(rng);
+  const Vector input{0.4, -0.7};
+  const Vector target{0.3};
+
+  // Analytic gradient via one train_sample + reading the applied delta.
+  Mlp probe = net;
+  probe.train_sample(input, target);
+  // Extract gradient by applying sgd with lr=1, batch=1 and differencing.
+  Mlp stepped = probe;
+  stepped.sgd_step(1.0, 1);
+  const Vector before = net.flatten_parameters();
+  const Vector after = stepped.flatten_parameters();
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < before.size(); i += 3) {  // sample every 3rd
+    Vector plus = before, minus = before;
+    plus[i] += eps;
+    minus[i] -= eps;
+    Mlp np(net.config()), nm(net.config());
+    np.set_parameters(plus);
+    nm.set_parameters(minus);
+    auto loss = [&](Mlp& m) {
+      const Vector out = m.forward(input);
+      const Vector d = sub(out, target);
+      return 0.5 * dot(d, d);
+    };
+    const double numeric = (loss(np) - loss(nm)) / (2.0 * eps);
+    const double analytic = before[i] - after[i];  // lr=1 -> grad
+    EXPECT_NEAR(analytic, numeric, 1e-5) << "param " << i;
+  }
+}
+
+TEST(Mlp, SgdLearnsLinearMap) {
+  // y = [x0 + x1, x0 - x1] is learnable exactly by an identity-output MLP.
+  Rng rng(9);
+  Mlp net(MlpConfig{{2, 16, 2}, Activation::kTanh, Activation::kIdentity});
+  net.init_xavier(rng);
+
+  std::vector<Vector> inputs, targets;
+  for (int i = 0; i < 64; ++i) {
+    const double a = rng.uniform(-1.0, 1.0), b = rng.uniform(-1.0, 1.0);
+    inputs.push_back({a, b});
+    targets.push_back({a + b, a - b});
+  }
+  const double before = mse_loss(net, inputs, targets);
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      net.train_sample(inputs[i], targets[i]);
+    net.sgd_step(0.05, inputs.size());
+  }
+  const double after = mse_loss(net, inputs, targets);
+  EXPECT_LT(after, before * 0.05);
+  EXPECT_LT(after, 0.01);
+}
+
+TEST(Mlp, RejectsBadArchitectures) {
+  EXPECT_THROW(Mlp(MlpConfig{{4}, Activation::kTanh, Activation::kTanh}),
+               ContractViolation);
+  EXPECT_THROW(Mlp(MlpConfig{{4, 0, 2}, Activation::kTanh, Activation::kTanh}),
+               ContractViolation);
+}
+
+TEST(Cem, OptimizesQuadraticBowl) {
+  // Maximize -(x - c)^2 in 4 dimensions.
+  const Vector center{1.0, -2.0, 0.5, 3.0};
+  auto objective = [&](const Vector& x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - center[i];
+      acc -= d * d;
+    }
+    return acc;
+  };
+  Rng rng(10);
+  CemConfig config;
+  config.population = 64;
+  config.elites = 8;
+  config.generations = 60;
+  config.init_stddev = 2.0;  // wide enough to reach the farthest optimum
+  config.min_stddev = 0.05;
+  const CemResult result =
+      cem_optimize(objective, Vector(4, 0.0), config, rng);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(result.best_parameters[i], center[i], 0.2);
+  EXPECT_GT(result.best_score, -0.1);
+  EXPECT_EQ(result.generation_best.size(), config.generations);
+}
+
+TEST(Cem, BestScoreNeverRegresses) {
+  // The tracked best is a running maximum even if generations fluctuate.
+  auto objective = [](const Vector& x) { return -x[0] * x[0]; };
+  Rng rng(11);
+  CemConfig config;
+  config.generations = 15;
+  const CemResult result =
+      cem_optimize(objective, Vector(1, 5.0), config, rng);
+  double best = -1e300;
+  for (const double g : result.generation_best) {
+    best = std::max(best, g);
+    EXPECT_LE(g, result.best_score + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(best, result.best_score);
+}
+
+TEST(Cem, ContractChecks) {
+  auto objective = [](const Vector&) { return 0.0; };
+  Rng rng(12);
+  CemConfig config;
+  config.elites = 100;
+  config.population = 10;
+  EXPECT_THROW(cem_optimize(objective, Vector(2, 0.0), config, rng),
+               ContractViolation);
+  EXPECT_THROW(cem_optimize(objective, Vector{}, CemConfig{}, rng),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace seo::nn

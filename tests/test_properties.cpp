@@ -1,0 +1,249 @@
+// Property-based suites: closed-form schedule fractions, geometric
+// invariances of the safety function, discretization laws, energy-model
+// monotonicity, and distribution checks — each swept over parameter grids
+// with TEST_P.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/runtime.hpp"
+#include "energy/report.hpp"
+#include "safety/barrier.hpp"
+#include "safety/safe_interval.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace seo {
+namespace {
+
+// --- Schedule fractions: drive SeoRuntime, compare to closed form ------------
+
+struct ScheduleCase {
+  int delta_i;
+  int delta_max;  // constrained deadline held constant
+};
+
+class GatedFractionTest : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(GatedFractionTest, MatchesClosedForm) {
+  const auto& c = GetParam();
+  SeoRuntime::Hooks hooks;
+  hooks.sample_deadline = [&] {
+    return DeadlineSample{true, c.delta_max * 0.02 + 1e-6};
+  };
+  SeoRuntime runtime(
+      SeoRuntime::Config{TimeBase(0.02), /*cap=*/8, {c.delta_i}},
+      std::make_unique<GatingStrategy>(), std::move(hooks));
+
+  for (int t = 0; t < 4000; ++t) {
+    const auto report = runtime.tick();
+    for (const auto& d : report.directives) runtime.record(d);
+  }
+
+  const BucketCounts counts = runtime.tally(0).total();
+  const int ds = SeoScheduler::deadline_slot(c.delta_i, c.delta_max);
+  double expected_gated_fraction = 0.0;
+  if (ds >= 0) {
+    // Per interval: ds/delta_i gated frames; interval length = delta_max
+    // periods when min delta = delta_i, so own-period frames per interval
+    // = ceil(interval_len / delta_i).  With a single pipeline the interval
+    // ends right after its deadline slot, so frames = ds/delta_i + 1.
+    const double gated = static_cast<double>(ds) / c.delta_i;
+    expected_gated_fraction = gated / (gated + 1.0);
+  }
+  const double measured =
+      static_cast<double>(counts.gated) /
+      static_cast<double>(counts.total_frames());
+  EXPECT_NEAR(measured, expected_gated_fraction, 0.002)
+      << "delta_i=" << c.delta_i << " delta_max=" << c.delta_max;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GatedFractionTest,
+    ::testing::Values(ScheduleCase{1, 1}, ScheduleCase{1, 2},
+                      ScheduleCase{1, 3}, ScheduleCase{1, 4},
+                      ScheduleCase{1, 6}, ScheduleCase{2, 2},
+                      ScheduleCase{2, 3}, ScheduleCase{2, 4},
+                      ScheduleCase{2, 6}, ScheduleCase{3, 4},
+                      ScheduleCase{3, 6}, ScheduleCase{3, 7}));
+
+// --- Barrier geometric invariances --------------------------------------------
+
+class BarrierInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarrierInvarianceTest, TranslationAndRotationInvariant) {
+  // h depends only on relative geometry: translating or rotating the whole
+  // scene (vehicle + obstacle + heading) must not change it.
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Barrier barrier{BarrierConfig{}};
+  for (int i = 0; i < 200; ++i) {
+    VehicleState s;
+    s.position = {rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    s.heading = rng.uniform(-3.0, 3.0);
+    s.speed = rng.uniform(0, 12);
+    const Obstacle o{
+        s.position + Vec2::from_polar(rng.uniform(3.0, 30.0),
+                                      rng.uniform(-3.1, 3.1)),
+        rng.uniform(0.5, 2.0)};
+    const double h0 = barrier.value(s, o);
+
+    // Translate.
+    const Vec2 shift{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    VehicleState st = s;
+    st.position += shift;
+    const Obstacle ot{o.center + shift, o.radius};
+    EXPECT_NEAR(barrier.value(st, ot), h0, 1e-9);
+
+    // Rotate about the vehicle.
+    const double angle = rng.uniform(-3.0, 3.0);
+    VehicleState sr = s;
+    sr.heading = wrap_angle(s.heading + angle);
+    const Vec2 rel = o.center - s.position;
+    const Vec2 rel_rot{rel.x * std::cos(angle) - rel.y * std::sin(angle),
+                       rel.x * std::sin(angle) + rel.y * std::cos(angle)};
+    const Obstacle orot{s.position + rel_rot, o.radius};
+    EXPECT_NEAR(barrier.value(sr, orot), h0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BarrierInvarianceTest,
+                         ::testing::Values(1, 2, 3));
+
+// --- Discretization laws (eqs. 4 and 5) ----------------------------------------
+
+class TimeBaseLawTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeBaseLawTest, CeilingAndFloorLaws) {
+  const double tau = GetParam();
+  const TimeBase time(tau);
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    // Eq. 4: the discretized period never schedules faster than the sensor
+    // samples, and wastes less than one base period.
+    const double p = rng.uniform(0.2 * tau, 6.0 * tau);
+    const int delta = time.discretize_period(p);
+    EXPECT_GE(delta * tau, p - 1e-9);
+    EXPECT_LT((delta - 1) * tau, p + 1e-9);
+
+    // Eq. 5: the discretized deadline never extends past the true one.
+    const double d = rng.uniform(0.0, 8.0 * tau);
+    const int dmax = time.discretize_deadline(d);
+    EXPECT_LE(dmax * tau, d + 1e-9);
+    EXPECT_GT((dmax + 1) * tau, d - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, TimeBaseLawTest,
+                         ::testing::Values(0.01, 0.02, 0.025, 1.0 / 30.0));
+
+// --- Energy-model monotonicity ------------------------------------------------
+
+TEST(EnergyMonotonicity, GatingGainDecreasesWithIdlePower) {
+  // The more the gated state leaks, the less gating saves.
+  PipelineTally tally(4);
+  for (int i = 0; i < 30; ++i) tally.record(4, SlotOutcome::kGated);
+  for (int i = 0; i < 10; ++i) tally.record(4, SlotOutcome::kLocalDeadline);
+  double prev = 1.0;
+  for (double idle = 0.0; idle <= 6.0; idle += 0.5) {
+    PlatformPowerModel pm;
+    pm.idle_w = idle;
+    const double gain =
+        model_energy(tally, resnet152_px2(), 0.02, pm).gain();
+    EXPECT_LT(gain, prev + 1e-12) << "idle=" << idle;
+    prev = gain;
+  }
+}
+
+TEST(EnergyMonotonicity, OffloadGainDecreasesWithTxEnergy) {
+  for (double tx_j = 0.0; tx_j < 0.12; tx_j += 0.01) {
+    PipelineTally cheap(4), costly(4);
+    for (int i = 0; i < 3; ++i) {
+      cheap.record(4, SlotOutcome::kOffloadTx, tx_j);
+      costly.record(4, SlotOutcome::kOffloadTx, tx_j + 0.01);
+    }
+    cheap.record(4, SlotOutcome::kLocalDeadline);
+    costly.record(4, SlotOutcome::kLocalDeadline);
+    PlatformPowerModel pm;
+    EXPECT_GT(model_energy(cheap, resnet152_px2(), 0.02, pm).gain(),
+              model_energy(costly, resnet152_px2(), 0.02, pm).gain());
+  }
+}
+
+TEST(EnergyMonotonicity, SensorGainGrowsWithMeasurementPower) {
+  // Higher P_meas -> gating the measurement saves more (paper's radar
+  // vs. lidar observation), holding P_mech fixed.
+  PipelineTally tally(4);
+  for (int i = 0; i < 3; ++i) tally.record(4, SlotOutcome::kGated);
+  tally.record(4, SlotOutcome::kLocalDeadline);
+  double prev = -1.0;
+  for (double meas = 1.0; meas <= 25.0; meas += 3.0) {
+    SensorSpec sensor{"sweep", 0.02, meas, 2.4, 1024.0};
+    const double gain =
+        sensor_gating_energy(tally, sensor, resnet152_px2()).gain();
+    EXPECT_GT(gain, prev) << "meas=" << meas;
+    prev = gain;
+  }
+}
+
+TEST(EnergyMonotonicity, MechanicalPowerSuppressesSensorGain) {
+  PipelineTally tally(4);
+  for (int i = 0; i < 3; ++i) tally.record(4, SlotOutcome::kGated);
+  tally.record(4, SlotOutcome::kLocalDeadline);
+  double prev = 2.0;
+  for (double mech = 0.0; mech <= 12.0; mech += 2.0) {
+    SensorSpec sensor{"sweep", 0.02, 9.6, mech, 1024.0};
+    const double gain =
+        sensor_gating_energy(tally, sensor, resnet152_px2()).gain();
+    EXPECT_LT(gain, prev) << "mech=" << mech;
+    prev = gain;
+  }
+}
+
+// --- Distribution checks --------------------------------------------------------
+
+TEST(Distributions, RayleighQuantiles) {
+  // CDF(x) = 1 - exp(-x^2 / 2 sigma^2); check the median and the 90th
+  // percentile of a large sample.
+  Rng rng(23);
+  const double sigma = 20.0;
+  std::vector<double> samples;
+  samples.reserve(100000);
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.rayleigh(sigma));
+  const double median_expected = sigma * std::sqrt(2.0 * std::log(2.0));
+  const double p90_expected = sigma * std::sqrt(-2.0 * std::log(0.1));
+  EXPECT_NEAR(percentile(samples, 50.0), median_expected, 0.3);
+  EXPECT_NEAR(percentile(samples, 90.0), p90_expected, 0.5);
+}
+
+TEST(Distributions, GaussianTailMass) {
+  Rng rng(29);
+  int beyond_2sigma = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    beyond_2sigma += std::abs(rng.gaussian()) > 2.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(beyond_2sigma) / n, 0.0455, 0.003);
+}
+
+// --- Safe-interval scaling laws ---------------------------------------------------
+
+TEST(SafeIntervalLaws, LinearInBarrierValue) {
+  // The Lipschitz certificate is linear in h at fixed speed.
+  const LipschitzSafeInterval eval(LipschitzIntervalConfig{},
+                                   Barrier{BarrierConfig{}});
+  const double base = eval.interval_from_h(2.0, 8.0);
+  EXPECT_NEAR(eval.interval_from_h(4.0, 8.0), 2.0 * base, 1e-12);
+  EXPECT_NEAR(eval.interval_from_h(6.0, 8.0), 3.0 * base, 1e-12);
+}
+
+TEST(SafeIntervalLaws, InverseInSpeedPlusFloor) {
+  LipschitzIntervalConfig config;
+  config.speed_floor = 1.0;
+  const LipschitzSafeInterval eval(config, Barrier{BarrierConfig{}});
+  const double at_v3 = eval.interval_from_h(5.0, 3.0);
+  const double at_v7 = eval.interval_from_h(5.0, 7.0);
+  EXPECT_NEAR(at_v3 / at_v7, (7.0 + 1.0) / (3.0 + 1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace seo

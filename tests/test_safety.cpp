@@ -1,0 +1,426 @@
+// Unit + property tests for the safety stack: barrier function, predictive
+// safety filter, safe-interval evaluators (phi), and the deadline lookup
+// table T(x,u).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "safety/barrier.hpp"
+#include "safety/deadline_table.hpp"
+#include "safety/safe_interval.hpp"
+#include "safety/safety_filter.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace seo {
+namespace {
+
+VehicleState state_at(double x, double y, double heading, double speed) {
+  VehicleState s;
+  s.position = {x, y};
+  s.heading = heading;
+  s.speed = speed;
+  return s;
+}
+
+TEST(Barrier, FartherIsSafer) {
+  const Barrier barrier{BarrierConfig{}};
+  const Obstacle o{{20.0, 0.0}, 1.0};
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double x = 0.0; x < 18.0; x += 1.0) {
+    const double h = barrier.value(state_at(x, 0.0, 0.0, 8.0), o);
+    EXPECT_LT(h, prev == -std::numeric_limits<double>::infinity()
+                  ? std::numeric_limits<double>::infinity()
+                  : prev);
+    prev = h;
+  }
+}
+
+TEST(Barrier, HeadOnRequiresMoreClearanceThanTangential) {
+  const Barrier barrier{BarrierConfig{}};
+  const Obstacle ahead{{10.0, 0.0}, 1.0};
+  // Same distance, heading toward vs. away from the obstacle.
+  const double h_toward = barrier.value(state_at(0, 0, 0.0, 8.0), ahead);
+  const double h_away = barrier.value(state_at(0, 0, 3.1415, 8.0), ahead);
+  EXPECT_LT(h_toward, h_away);
+  // The difference equals margin * heading_gain * (cos span)/2 ~ margin*k.
+  const BarrierConfig c;
+  EXPECT_NEAR(h_away - h_toward, c.margin * c.heading_gain, 0.01);
+}
+
+TEST(Barrier, FieldTakesWorstObstacle) {
+  const Barrier barrier{BarrierConfig{}};
+  const ObstacleField field(
+      {Obstacle{{30.0, 0.0}, 1.0}, Obstacle{{5.0, 0.0}, 1.0}});
+  const VehicleState s = state_at(0, 0, 0, 8);
+  EXPECT_DOUBLE_EQ(barrier.value(s, field),
+                   barrier.value(s, field.at(1)));
+}
+
+TEST(Barrier, EmptyFieldIsVacuouslySafe) {
+  const Barrier barrier{BarrierConfig{}};
+  EXPECT_TRUE(std::isinf(barrier.value(state_at(0, 0, 0, 8),
+                                       ObstacleField{})));
+  EXPECT_TRUE(barrier.safe(state_at(0, 0, 0, 8), ObstacleField{}));
+}
+
+TEST(Barrier, SafeIffNonNegative) {
+  const Barrier barrier{BarrierConfig{}};
+  const ObstacleField field({Obstacle{{4.0, 0.0}, 1.0}});
+  EXPECT_FALSE(barrier.safe(state_at(0, 0, 0, 8), field));  // h < 0: close+head-on
+  const ObstacleField far({Obstacle{{30.0, 0.0}, 1.0}});
+  EXPECT_TRUE(barrier.safe(state_at(0, 0, 0, 8), far));
+}
+
+TEST(Barrier, SurfaceClearanceAndBearing) {
+  const Barrier barrier{BarrierConfig{}};
+  const Obstacle o{{10.0, 10.0}, 2.0};
+  const VehicleState s = state_at(10.0, 0.0, 0.0, 5.0);
+  EXPECT_NEAR(barrier.surface_clearance(s, o), 10.0 - 2.0 - 0.9, 1e-12);
+  EXPECT_NEAR(barrier.relative_bearing(s, o), 1.5708, 1e-3);  // straight left
+}
+
+// --- Safety filter --------------------------------------------------------
+
+SafetyFilter make_filter() {
+  return SafetyFilter(SafetyFilterConfig{}, BicycleModel{},
+                      Barrier{BarrierConfig{}});
+}
+
+TEST(SafetyFilter, PassesThroughWhenFar) {
+  const SafetyFilter filter = make_filter();
+  const ObstacleField field({Obstacle{{80.0, 0.0}, 1.0}});
+  const Control raw{0.1, 0.5};
+  const FilterDecision d =
+      filter.filter(state_at(0, 0, 0, 8), field, raw);
+  EXPECT_FALSE(d.engaged);
+  EXPECT_DOUBLE_EQ(d.control.steering, raw.steering);
+  EXPECT_DOUBLE_EQ(d.control.throttle, raw.throttle);
+  EXPECT_EQ(filter.engagements(), 0u);
+}
+
+TEST(SafetyFilter, EngagesOnCollisionCourse) {
+  const SafetyFilter filter = make_filter();
+  const ObstacleField field({Obstacle{{9.0, 0.0}, 1.0}});
+  const FilterDecision d =
+      filter.filter(state_at(0, 0, 0, 10), field, Control{0.0, 0.5});
+  EXPECT_TRUE(d.engaged);
+  EXPECT_NE(d.control.steering, 0.0);  // corrective steering applied
+  EXPECT_EQ(filter.engagements(), 1u);
+}
+
+TEST(SafetyFilter, CorrectionImprovesWorstCaseBarrier) {
+  // Property: the corrective action's predicted min-h must beat holding the
+  // raw control on a collision course.
+  const SafetyFilter filter = make_filter();
+  const BicycleModel model;
+  const Barrier barrier{BarrierConfig{}};
+  const ObstacleField field({Obstacle{{14.0, 0.5}, 1.0}});
+  Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const VehicleState s =
+        state_at(0.0, rng.uniform(-1.0, 1.0), rng.uniform(-0.1, 0.1),
+                 rng.uniform(6.0, 11.0));
+    const Control raw{rng.uniform(-0.05, 0.05), 0.5};
+    const FilterDecision d = filter.filter(s, field, raw);
+    if (!d.engaged) continue;
+    // Roll both controls forward and compare the worst barrier value.
+    auto min_h = [&](const Control& u) {
+      double mh = barrier.value(s, field);
+      VehicleState cur = s;
+      for (int i = 0; i < 30; ++i) {
+        cur = model.step_euler(cur, u, 0.02);
+        mh = std::min(mh, barrier.value(cur, field));
+      }
+      return mh;
+    };
+    EXPECT_GE(min_h(d.control) + 1e-9, min_h(raw));
+  }
+}
+
+TEST(SafetyFilter, SteersAwayFromSide) {
+  const SafetyFilter filter = make_filter();
+  // Obstacle slightly left of dead ahead: correction should steer right.
+  const ObstacleField field({Obstacle{{9.0, 0.8}, 1.0}});
+  const FilterDecision d =
+      filter.filter(state_at(0, 0, 0, 10), field, Control{0.0, 0.5});
+  ASSERT_TRUE(d.engaged);
+  EXPECT_LT(d.control.steering, 0.0);
+}
+
+TEST(SafetyFilter, RoadAwareCorrectionStaysOnRoad) {
+  // With the road supplied, the corrective candidate that dodges off-road
+  // must lose to an on-road candidate.
+  const Road road(RoadParams{100.0, 3.0});  // narrow road
+  const SafetyFilter filter(SafetyFilterConfig{}, BicycleModel{},
+                            Barrier{BarrierConfig{}}, road);
+  const ObstacleField field({Obstacle{{9.0, 1.8}, 1.0}});
+  // Vehicle near the left edge; dodging further left exits the road.
+  const VehicleState s = state_at(0.0, 1.5, 0.0, 9.0);
+  const FilterDecision d = filter.filter(s, field, Control{0.0, 0.5});
+  ASSERT_TRUE(d.engaged);
+  // Roll the corrected control: must not go far off-road.
+  const BicycleModel model;
+  VehicleState cur = s;
+  double worst_margin = road.boundary_margin(cur.position);
+  for (int i = 0; i < 30; ++i) {
+    cur = model.step_euler(cur, d.control, 0.02);
+    worst_margin = std::min(worst_margin, road.boundary_margin(cur.position));
+  }
+  EXPECT_GT(worst_margin, -0.5);
+}
+
+TEST(SafetyFilter, LowSpeedMarginRelaxation) {
+  // Crawling toward a moderately distant obstacle must not engage (the
+  // deadlock guard), while approaching fast must.
+  const SafetyFilter filter = make_filter();
+  const ObstacleField field({Obstacle{{9.0, 0.0}, 1.0}});
+  const FilterDecision slow =
+      filter.filter(state_at(0, 0, 0, 1.0), field, Control{0.0, 0.1});
+  const FilterDecision fast =
+      filter.filter(state_at(0, 0, 0, 11.0), field, Control{0.0, 0.1});
+  EXPECT_FALSE(slow.engaged);
+  EXPECT_TRUE(fast.engaged);
+}
+
+TEST(SafetyFilter, ConfigContracts) {
+  SafetyFilterConfig bad;
+  bad.steering_candidates = 2;
+  EXPECT_THROW(SafetyFilter(bad, BicycleModel{}, Barrier{BarrierConfig{}}),
+               ContractViolation);
+  bad = SafetyFilterConfig{};
+  bad.horizon_s = 0.0;
+  EXPECT_THROW(SafetyFilter(bad, BicycleModel{}, Barrier{BarrierConfig{}}),
+               ContractViolation);
+}
+
+// --- Safe-interval evaluators ----------------------------------------------
+
+TEST(LipschitzInterval, UnconstrainedBeyondSensingRange) {
+  const LipschitzSafeInterval eval(LipschitzIntervalConfig{},
+                                   Barrier{BarrierConfig{}});
+  const ObstacleField far({Obstacle{{60.0, 0.0}, 1.0}});
+  EXPECT_FALSE(eval.evaluate(state_at(0, 0, 0, 8), Control{}, far)
+                   .constrained);
+  EXPECT_FALSE(
+      eval.evaluate(state_at(0, 0, 0, 8), Control{}, ObstacleField{})
+          .constrained);
+}
+
+TEST(LipschitzInterval, CloserObstacleShorterInterval) {
+  const LipschitzSafeInterval eval(LipschitzIntervalConfig{},
+                                   Barrier{BarrierConfig{}});
+  double prev = std::numeric_limits<double>::infinity();
+  for (double d = 35.0; d >= 5.0; d -= 5.0) {
+    const ObstacleField field({Obstacle{{d, 0.0}, 1.0}});
+    const SafeInterval si =
+        eval.evaluate(state_at(0, 0, 0, 8), Control{}, field);
+    ASSERT_TRUE(si.constrained);
+    EXPECT_LT(si.delta_max_s, prev);
+    prev = si.delta_max_s;
+  }
+}
+
+TEST(LipschitzInterval, FasterIsShorter) {
+  const LipschitzSafeInterval eval(LipschitzIntervalConfig{},
+                                   Barrier{BarrierConfig{}});
+  const ObstacleField field({Obstacle{{15.0, 0.0}, 1.0}});
+  const double slow =
+      eval.evaluate(state_at(0, 0, 0, 4), Control{}, field).delta_max_s;
+  const double fast =
+      eval.evaluate(state_at(0, 0, 0, 12), Control{}, field).delta_max_s;
+  EXPECT_GT(slow, fast);
+}
+
+TEST(LipschitzInterval, ControlIndependence) {
+  // The certificate bounds over all admissible controls; the current
+  // control must not change it.
+  const LipschitzSafeInterval eval(LipschitzIntervalConfig{},
+                                   Barrier{BarrierConfig{}});
+  const ObstacleField field({Obstacle{{15.0, 2.0}, 1.0}});
+  const VehicleState s = state_at(0, 0, 0, 8);
+  EXPECT_DOUBLE_EQ(
+      eval.evaluate(s, Control{0.5, 1.0}, field).delta_max_s,
+      eval.evaluate(s, Control{-0.5, -1.0}, field).delta_max_s);
+}
+
+TEST(LipschitzInterval, ZeroAtBarrierBoundary) {
+  const LipschitzSafeInterval eval(LipschitzIntervalConfig{},
+                                   Barrier{BarrierConfig{}});
+  // Deep inside the unsafe set: h <= 0 -> Delta_max = 0.
+  const ObstacleField field({Obstacle{{2.5, 0.0}, 1.0}});
+  const SafeInterval si =
+      eval.evaluate(state_at(0, 0, 0, 8), Control{}, field);
+  ASSERT_TRUE(si.constrained);
+  EXPECT_DOUBLE_EQ(si.delta_max_s, 0.0);
+}
+
+TEST(LipschitzInterval, RoadTermBindsWhenHeadingForEdge) {
+  LipschitzIntervalConfig config;
+  const Road road(RoadParams{100.0, 6.0});
+  const LipschitzSafeInterval eval(config, Barrier{BarrierConfig{}}, road);
+  const ObstacleField field({Obstacle{{30.0, 0.0}, 1.0}});
+  // Heading sharply toward the left edge from near it.
+  const SafeInterval toward = eval.evaluate(
+      state_at(0, 5.0, 0.8, 9.0), Control{}, field);
+  const SafeInterval parallel = eval.evaluate(
+      state_at(0, 5.0, 0.0, 9.0), Control{}, field);
+  ASSERT_TRUE(toward.constrained && parallel.constrained);
+  EXPECT_LT(toward.delta_max_s, parallel.delta_max_s);
+}
+
+TEST(LipschitzInterval, ClosedFormInterval) {
+  LipschitzIntervalConfig config;
+  config.rate_gain = 6.0;
+  config.speed_floor = 1.0;
+  const LipschitzSafeInterval eval(config, Barrier{BarrierConfig{}});
+  EXPECT_NEAR(eval.interval_from_h(5.4, 8.0), 5.4 / (6.0 * 9.0), 1e-12);
+  EXPECT_DOUBLE_EQ(eval.interval_from_h(-1.0, 8.0), 0.0);
+}
+
+TEST(RolloutInterval, HeadOnCrossingTimeMatchesKinematics) {
+  // Head-on at constant speed v toward an obstacle: h reaches 0 when the
+  // clearance equals margin*(1+k); crossing time ~ distance/speed.
+  RolloutIntervalConfig config;
+  const Barrier barrier{BarrierConfig{}};
+  const RolloutSafeInterval eval(config, BicycleModel{}, barrier);
+  const double d_center = 20.0;
+  const ObstacleField field({Obstacle{{d_center, 0.0}, 1.0}});
+  const double v = 8.0;
+  // Throttle compensating drag to hold speed roughly constant.
+  const Control hold{0.0, BicycleParams{}.drag_coeff * v /
+                              BicycleParams{}.max_accel};
+  const SafeInterval si =
+      eval.evaluate(state_at(0, 0, 0, v), hold, field);
+  ASSERT_TRUE(si.constrained);
+  // h = (d - 1 - 0.9) - 1.2*2 at head-on; h=0 at clearance 2.4 from surface,
+  // i.e. at x = 20 - 1 - 0.9 - 2.4 = 15.7 -> t ~ 15.7/8.
+  EXPECT_NEAR(si.delta_max_s, 15.7 / v, 0.1);
+}
+
+TEST(RolloutInterval, BisectionRefinesCrossing) {
+  RolloutIntervalConfig config;
+  config.step_s = 0.01;
+  const Barrier barrier{BarrierConfig{}};
+  const BicycleModel model;
+  const RolloutSafeInterval eval(config, model, barrier);
+  const ObstacleField field({Obstacle{{12.0, 0.0}, 1.0}});
+  const VehicleState s = state_at(0, 0, 0, 9.0);
+  const Control u{0.0, 0.2};
+  const SafeInterval si = eval.evaluate(s, u, field);
+  ASSERT_TRUE(si.constrained);
+  // h at the reported crossing time must be ~0 (within integration slack).
+  VehicleState cur = s;
+  double t = 0.0;
+  while (t + 0.001 < si.delta_max_s) {
+    cur = model.step_euler(cur, u, 0.001);
+    t += 0.001;
+  }
+  EXPECT_NEAR(barrier.value(cur, field), 0.0, 0.05);
+}
+
+TEST(RolloutInterval, HorizonCapsResult) {
+  RolloutIntervalConfig config;
+  config.horizon_s = 0.5;
+  const RolloutSafeInterval eval(config, BicycleModel{},
+                                 Barrier{BarrierConfig{}});
+  const ObstacleField field({Obstacle{{39.0, 0.0}, 1.0}});  // in range, far
+  const SafeInterval si =
+      eval.evaluate(state_at(0, 0, 0, 2.0), Control{}, field);
+  ASSERT_TRUE(si.constrained);
+  EXPECT_DOUBLE_EQ(si.delta_max_s, 0.5);
+}
+
+TEST(RolloutInterval, MoreConservativeLipschitzBound) {
+  // The Lipschitz certificate must never exceed the rollout time for the
+  // same state (it bounds the worst case over all controls).
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval lip(LipschitzIntervalConfig{}, barrier);
+  const RolloutSafeInterval roll(RolloutIntervalConfig{}, BicycleModel{},
+                                 barrier);
+  Rng rng(31);
+  for (int i = 0; i < 40; ++i) {
+    const double d = rng.uniform(6.0, 35.0);
+    const ObstacleField field({Obstacle{{d, rng.uniform(-2.0, 2.0)}, 0.8}});
+    const VehicleState s = state_at(0, 0, rng.uniform(-0.2, 0.2),
+                                    rng.uniform(3.0, 12.0));
+    const SafeInterval l = lip.evaluate(s, Control{}, field);
+    const SafeInterval r = roll.evaluate(s, Control{0.0, 0.3}, field);
+    if (!l.constrained || !r.constrained) continue;
+    EXPECT_LE(l.delta_max_s, r.delta_max_s + 1e-9);
+  }
+}
+
+// --- Deadline lookup table ---------------------------------------------------
+
+TEST(DeadlineTable, MatchesSourceOnProbes) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  const DeadlineTable table(DeadlineTableConfig{}, source,
+                            BarrierConfig{}.body_radius);
+  Rng rng(33);
+  for (int i = 0; i < 200; ++i) {
+    const double d = rng.uniform(1.0, 38.0);
+    const double chi = rng.uniform(-3.0, 3.0);
+    const double v = rng.uniform(0.5, 14.0);
+    const Obstacle o{Vec2::from_polar(d + 0.8 + 0.9, chi), 0.8};
+    const ObstacleField field({o});
+    VehicleState s;
+    s.speed = v;
+    const double truth =
+        source.evaluate(s, Control{}, field).delta_max_s;
+    const double approx = table.sample(d, chi, v);
+    // Multilinear interpolation on a Lipschitz-smooth map: small error.
+    EXPECT_NEAR(approx, truth, 0.06 + 0.1 * truth);
+  }
+}
+
+TEST(DeadlineTable, EvaluateReducesNearestObstacle) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  const DeadlineTable table(DeadlineTableConfig{}, source,
+                            BarrierConfig{}.body_radius);
+  const ObstacleField field({Obstacle{{15.0, 1.0}, 0.8}});
+  const VehicleState s = state_at(0, 0, 0, 8);
+  const SafeInterval direct = source.evaluate(s, Control{}, field);
+  const SafeInterval proxied = table.evaluate(s, Control{}, field);
+  ASSERT_TRUE(direct.constrained);
+  ASSERT_TRUE(proxied.constrained);
+  EXPECT_NEAR(proxied.delta_max_s, direct.delta_max_s,
+              0.05 + 0.1 * direct.delta_max_s);
+}
+
+TEST(DeadlineTable, UnconstrainedBeyondDomain) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  const DeadlineTable table(DeadlineTableConfig{}, source,
+                            BarrierConfig{}.body_radius);
+  const ObstacleField far({Obstacle{{80.0, 0.0}, 1.0}});
+  EXPECT_FALSE(
+      table.evaluate(state_at(0, 0, 0, 8), Control{}, far).constrained);
+}
+
+TEST(DeadlineTable, PreservesDistanceMonotonicity) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  const DeadlineTable table(DeadlineTableConfig{}, source,
+                            BarrierConfig{}.body_radius);
+  double prev = -1.0;
+  for (double d = 2.0; d <= 38.0; d += 2.0) {
+    const double v = table.sample(d, 0.0, 8.0);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(DeadlineTable, ConfigContracts) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  DeadlineTableConfig bad;
+  bad.distance_bins = 1;
+  EXPECT_THROW(DeadlineTable(bad, source, 0.9), ContractViolation);
+}
+
+}  // namespace
+}  // namespace seo

@@ -1,0 +1,192 @@
+// Tests for the strategy layer (the paper's Omega): exhaustive decision
+// enumeration per strategy, the section V-A feasibility rule, and the
+// compositional safety property — no strategy can displace the mandatory
+// local run at a constrained deadline slot.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "util/expect.hpp"
+
+namespace seo {
+namespace {
+
+FrameContext opt_context() {
+  FrameContext c;
+  c.kind = SlotKind::kOptSlot;
+  c.delta_max = 4;
+  c.delta_i = 1;
+  return c;
+}
+
+FrameContext deadline_context() {
+  FrameContext c;
+  c.kind = SlotKind::kDeadlineSlot;
+  c.delta_max = 4;
+  c.delta_i = 1;
+  return c;
+}
+
+TEST(LocalOnlyStrategy, AlwaysRunsLocal) {
+  const LocalOnlyStrategy s;
+  EXPECT_EQ(s.opt_slot(opt_context()), FrameAction::kRunLocal);
+  EXPECT_EQ(s.deadline_slot(deadline_context()), FrameAction::kRunLocal);
+}
+
+TEST(GatingStrategy, GatesOptSlotsRunsDeadline) {
+  const GatingStrategy s;
+  EXPECT_EQ(s.opt_slot(opt_context()), FrameAction::kGate);
+  EXPECT_EQ(s.deadline_slot(deadline_context()), FrameAction::kRunLocal);
+}
+
+TEST(ScaledStrategy, ScalesOptSlotsRunsFullAtDeadline) {
+  const ScaledStrategy s;
+  EXPECT_EQ(s.opt_slot(opt_context()), FrameAction::kRunScaled);
+  EXPECT_EQ(s.deadline_slot(deadline_context()), FrameAction::kRunLocal);
+}
+
+TEST(OffloadStrategy, OptSlotRespectsFeasibility) {
+  const OffloadStrategy s;
+  FrameContext c = opt_context();
+  c.offload_feasible = true;
+  EXPECT_EQ(s.opt_slot(c), FrameAction::kOffload);
+  c.offload_feasible = false;
+  EXPECT_EQ(s.opt_slot(c), FrameAction::kRunLocal);
+}
+
+TEST(OffloadStrategy, ConstrainedDeadlineAlwaysLocal) {
+  // Algorithm 1 lines 14-15: even with a fresh remote result in hand, a
+  // constrained interval's deadline slot runs the full local model.
+  const OffloadStrategy s;
+  FrameContext c = deadline_context();
+  c.offload_feasible = true;
+  c.unconstrained = false;
+  c.remote_fresh = true;
+  EXPECT_EQ(s.deadline_slot(c), FrameAction::kRunLocal);
+}
+
+TEST(OffloadStrategy, UnconstrainedDeadlineUsesRemoteWhenFresh) {
+  const OffloadStrategy s;
+  FrameContext c = deadline_context();
+  c.offload_feasible = true;
+  c.unconstrained = true;
+  c.remote_fresh = true;
+  EXPECT_EQ(s.deadline_slot(c), FrameAction::kApplyRemote);
+  c.remote_fresh = false;
+  EXPECT_EQ(s.deadline_slot(c), FrameAction::kRunLocal);  // fallback
+}
+
+TEST(OffloadStrategy, InfeasibleIntervalNeverAppliesRemote) {
+  const OffloadStrategy s;
+  FrameContext c = deadline_context();
+  c.offload_feasible = false;
+  c.unconstrained = true;
+  c.remote_fresh = true;
+  EXPECT_EQ(s.deadline_slot(c), FrameAction::kRunLocal);
+}
+
+TEST(Strategies, WrongSlotKindIsAContractViolation) {
+  const GatingStrategy gating;
+  const OffloadStrategy offload;
+  FrameContext wrong = deadline_context();
+  EXPECT_THROW(gating.opt_slot(wrong), ContractViolation);
+  wrong = opt_context();
+  EXPECT_THROW(offload.deadline_slot(wrong), ContractViolation);
+}
+
+TEST(Strategies, NoStrategySkipsConstrainedDeadlineRun) {
+  // The compositional safety property, enumerated over every strategy and
+  // every context flag combination: a constrained deadline slot always
+  // yields kRunLocal.
+  std::vector<std::unique_ptr<OptimizationStrategy>> strategies;
+  strategies.push_back(std::make_unique<LocalOnlyStrategy>());
+  strategies.push_back(std::make_unique<GatingStrategy>());
+  strategies.push_back(std::make_unique<ScaledStrategy>());
+  strategies.push_back(std::make_unique<OffloadStrategy>());
+
+  for (const auto& strategy : strategies) {
+    for (const bool feasible : {false, true}) {
+      for (const bool fresh : {false, true}) {
+        for (int delta_max = 2; delta_max <= 6; ++delta_max) {
+          FrameContext c = deadline_context();
+          c.unconstrained = false;  // constrained interval
+          c.offload_feasible = feasible;
+          c.remote_fresh = fresh;
+          c.delta_max = delta_max;
+          EXPECT_EQ(strategy->deadline_slot(c), FrameAction::kRunLocal)
+              << strategy->name() << " feasible=" << feasible
+              << " fresh=" << fresh;
+        }
+      }
+    }
+  }
+}
+
+// --- Feasibility rule (section V-A) -------------------------------------------
+
+struct FeasibilityCase {
+  int delta_i;
+  int delta_max;
+  int estimate_periods;
+  bool unconstrained;
+  bool expected;
+};
+
+class FeasibilityTest : public ::testing::TestWithParam<FeasibilityCase> {};
+
+TEST_P(FeasibilityTest, MatchesRule) {
+  const auto& c = GetParam();
+  EXPECT_EQ(offload_feasible(c.delta_i, c.delta_max, c.estimate_periods,
+                             c.unconstrained),
+            c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FeasibilityTest,
+    ::testing::Values(
+        // p=tau: deadline slot at delta_max-1; response must fit.
+        FeasibilityCase{1, 4, 1, false, true},
+        FeasibilityCase{1, 4, 3, false, true},
+        FeasibilityCase{1, 4, 4, false, false},  // response too slow
+        FeasibilityCase{1, 2, 1, false, true},
+        FeasibilityCase{1, 2, 2, false, false},
+        FeasibilityCase{1, 1, 1, false, false},  // no opt slots at all
+        // p=2tau: only delta_max=4 has an opt slot (ds=2).
+        FeasibilityCase{2, 4, 2, false, true},
+        FeasibilityCase{2, 4, 3, false, false},
+        FeasibilityCase{2, 3, 1, false, false},  // ds=0: nothing to gain
+        FeasibilityCase{2, 2, 1, false, false},
+        // Unconstrained streaming: delta-hat must fit the cap window
+        // (delta_max carries the cap).
+        FeasibilityCase{1, 4, 2, true, true},
+        FeasibilityCase{2, 4, 4, true, true},
+        FeasibilityCase{1, 4, 5, true, false},   // too slow even to stream
+        FeasibilityCase{2, 4, 9, true, false}));
+
+TEST(Feasibility, Contracts) {
+  EXPECT_THROW(offload_feasible(0, 4, 1, false), ContractViolation);
+  EXPECT_THROW(offload_feasible(1, 0, 1, false), ContractViolation);
+  EXPECT_THROW(offload_feasible(1, 4, -1, false), ContractViolation);
+}
+
+TEST(Feasibility, MonotoneInEstimate) {
+  // A slower estimated response can never turn an infeasible interval
+  // feasible.
+  for (int delta_i = 1; delta_i <= 3; ++delta_i) {
+    for (int delta_max = 1; delta_max <= 6; ++delta_max) {
+      bool prev = true;
+      for (int est = 0; est <= 8; ++est) {
+        const bool now = offload_feasible(delta_i, delta_max, est, false);
+        EXPECT_TRUE(prev || !now)
+            << "feasibility not monotone at delta_i=" << delta_i
+            << " dmax=" << delta_max << " est=" << est;
+        prev = now;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seo
