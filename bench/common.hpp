@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -17,6 +18,14 @@ namespace seo::bench {
 inline constexpr int kEpisodes = 25;
 inline constexpr std::uint64_t kBaseSeed = 7000;
 
+/// Episode parallelism for the ablation harness: SEO_THREADS env override,
+/// else every hardware thread.  Safe because the batched engine reproduces
+/// the serial aggregate exactly (see tests/test_thread_pool.cpp).
+inline int experiment_threads() {
+  if (const char* env = std::getenv("SEO_THREADS")) return std::atoi(env);
+  return 0;  // 0 = all hardware threads
+}
+
 /// Runs the standard experiment for a scenario.
 inline ExperimentResult run(const ScenarioConfig& scenario,
                             int episodes = kEpisodes,
@@ -25,6 +34,7 @@ inline ExperimentResult run(const ScenarioConfig& scenario,
   config.scenario = scenario;
   config.episodes = episodes;
   config.base_seed = base_seed;
+  config.threads = experiment_threads();
   return run_experiment(config);
 }
 

@@ -6,12 +6,16 @@
 #include <benchmark/benchmark.h>
 
 #include "control/hybrid_policy.hpp"
+#include "control/neural_policy.hpp"
 #include "dynamics/bicycle.hpp"
+#include "nn/mlp.hpp"
 #include "safety/deadline_table.hpp"
 #include "safety/safe_interval.hpp"
 #include "safety/safety_filter.hpp"
 #include "sensors/detector.hpp"
+#include "sim/experiment.hpp"
 #include "sim/simulation.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -132,6 +136,69 @@ void BM_DetectorInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DetectorInference);
+
+void BM_MlpForward(benchmark::State& state) {
+  Rng rng(11);
+  NeuralPolicy policy(NeuralPolicyConfig{}, BicycleParams{}, rng);
+  const nn::Vector input(NeuralPolicy::feature_count(), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.network().forward(input));
+  }
+}
+BENCHMARK(BM_MlpForward);
+
+void BM_MlpForwardWorkspace(benchmark::State& state) {
+  Rng rng(11);
+  NeuralPolicy policy(NeuralPolicyConfig{}, BicycleParams{}, rng);
+  const nn::Vector input(NeuralPolicy::feature_count(), 0.3);
+  nn::MlpWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.network().forward(input, workspace));
+  }
+}
+BENCHMARK(BM_MlpForwardWorkspace);
+
+// Threaded-vs-serial scaling of the two big offline artifacts.  The thread
+// counts are benchmark args so the speedup is measured, not asserted; run
+// on a multicore host, threads:4 should be >= 2x threads:1.
+void BM_DeadlineTableBuild(benchmark::State& state) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  DeadlineTableConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const DeadlineTable table(config, source, BarrierConfig{}.body_radius);
+    benchmark::DoNotOptimize(table.cell_count());
+  }
+}
+BENCHMARK(BM_DeadlineTableBuild)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExperimentBatch(benchmark::State& state) {
+  ExperimentConfig config;
+  config.scenario = default_scenario();
+  config.scenario.obstacle_count = 2;
+  config.scenario.use_lookup_table = false;
+  config.episodes = 8;
+  config.max_attempts = 32;
+  config.base_seed = 7000;
+  config.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_experiment(config));
+  }
+}
+BENCHMARK(BM_ExperimentBatch)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FullEpisode(benchmark::State& state) {
   ScenarioConfig config = default_scenario();

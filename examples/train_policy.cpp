@@ -19,6 +19,7 @@
 #include "sim/world.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -79,6 +80,9 @@ int main(int argc, char** argv) {
             << " parameters, CEM over " << generations << " generations\n";
 
   // Each candidate is scored on a small batch of scenarios of mixed risk.
+  // The lambda only reads shared state (the seed network architecture) and
+  // keeps everything mutable on its own stack, so the CEM engine can score
+  // the whole population concurrently.
   auto objective = [&](const nn::Vector& params) {
     NeuralPolicy candidate(NeuralPolicyConfig{}, BicycleParams{},
                            seed_policy.network());
@@ -99,6 +103,9 @@ int main(int argc, char** argv) {
   cem.elites = 6;
   cem.generations = generations;
   cem.init_stddev = 0.3;
+  cem.threads = 0;  // population rollouts across all hardware threads
+  std::cout << "scoring candidates on " << ThreadPool::hardware_threads()
+            << " threads\n";
   Rng cem_rng(7);
   const nn::CemResult result =
       nn::cem_optimize(objective, initial, cem, cem_rng);

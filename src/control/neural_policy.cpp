@@ -30,6 +30,13 @@ NeuralPolicy::NeuralPolicy(NeuralPolicyConfig config, BicycleParams vehicle,
 }
 
 nn::Vector NeuralPolicy::features(const PolicyObservation& obs) const {
+  nn::Vector out;
+  features_into(obs, out);
+  return out;
+}
+
+void NeuralPolicy::features_into(const PolicyObservation& obs,
+                                 nn::Vector& out) const {
   SEO_EXPECT(obs.road != nullptr);
   // Nearest detection (range + bearing); sentinel when none.
   double range = config_.sensing_norm;
@@ -44,20 +51,20 @@ nn::Vector NeuralPolicy::features(const PolicyObservation& obs) const {
   }
   const double remaining =
       obs.road->length() - obs.road->progress(obs.state.position);
-  return nn::Vector{
-      obs.state.position.y / obs.road->half_width(),
-      std::sin(obs.state.heading),
-      std::cos(obs.state.heading),
-      obs.state.speed / 10.0,
-      std::max(range, 0.0) / config_.sensing_norm,
-      std::sin(bearing),
-      std::cos(bearing),
-      remaining / obs.road->length(),
-  };
+  out.resize(feature_count());
+  out[0] = obs.state.position.y / obs.road->half_width();
+  out[1] = std::sin(obs.state.heading);
+  out[2] = std::cos(obs.state.heading);
+  out[3] = obs.state.speed / 10.0;
+  out[4] = std::max(range, 0.0) / config_.sensing_norm;
+  out[5] = std::sin(bearing);
+  out[6] = std::cos(bearing);
+  out[7] = remaining / obs.road->length();
 }
 
 Control NeuralPolicy::act(const PolicyObservation& obs) {
-  const nn::Vector out = network_.forward(features(obs));
+  features_into(obs, feature_buf_);
+  const nn::Vector& out = network_.forward(feature_buf_, workspace_);
   SEO_ASSERT(out.size() == 2);
   Control u;
   u.steering = out[0] * vehicle_.max_steer;  // tanh output -> actuator range

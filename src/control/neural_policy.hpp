@@ -33,6 +33,9 @@ class NeuralPolicy : public Policy {
   static std::size_t feature_count() { return 8; }
   /// Feature extraction (public so the trainer and tests share it).
   nn::Vector features(const PolicyObservation& obs) const;
+  /// Allocation-free feature extraction into `out` (resized to
+  /// feature_count(); reuses capacity) — the per-tick path `act` uses.
+  void features_into(const PolicyObservation& obs, nn::Vector& out) const;
 
   nn::Mlp& network() { return network_; }
   const nn::Mlp& network() const { return network_; }
@@ -43,6 +46,9 @@ class NeuralPolicy : public Policy {
   NeuralPolicyConfig config_;
   BicycleParams vehicle_;
   nn::Mlp network_;
+  // Reused every tick so steady-state `act` never touches the heap.
+  nn::Vector feature_buf_;
+  nn::MlpWorkspace workspace_;
 };
 
 }  // namespace seo

@@ -6,24 +6,25 @@
 namespace seo::nn {
 
 Vector apply_activation(Activation act, const Vector& pre) {
-  Vector out(pre.size());
+  Vector out = pre;
+  apply_activation_inplace(act, out);
+  return out;
+}
+
+void apply_activation_inplace(Activation act, Vector& values) {
   switch (act) {
     case Activation::kIdentity:
-      out = pre;
       break;
     case Activation::kTanh:
-      for (std::size_t i = 0; i < pre.size(); ++i) out[i] = std::tanh(pre[i]);
+      for (auto& v : values) v = std::tanh(v);
       break;
     case Activation::kRelu:
-      for (std::size_t i = 0; i < pre.size(); ++i)
-        out[i] = pre[i] > 0.0 ? pre[i] : 0.0;
+      for (auto& v : values) v = v > 0.0 ? v : 0.0;
       break;
     case Activation::kSigmoid:
-      for (std::size_t i = 0; i < pre.size(); ++i)
-        out[i] = 1.0 / (1.0 + std::exp(-pre[i]));
+      for (auto& v : values) v = 1.0 / (1.0 + std::exp(-v));
       break;
   }
-  return out;
 }
 
 Vector activation_derivative(Activation act, const Vector& pre) {

@@ -11,6 +11,8 @@ enum class Activation { kIdentity, kTanh, kRelu, kSigmoid };
 
 /// Applies the activation elementwise.
 Vector apply_activation(Activation act, const Vector& pre);
+/// Applies the activation in place — the allocation-free control path.
+void apply_activation_inplace(Activation act, Vector& values);
 /// Elementwise derivative evaluated at the *pre-activation* values.
 Vector activation_derivative(Activation act, const Vector& pre);
 

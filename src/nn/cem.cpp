@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "util/expect.hpp"
+#include "util/thread_pool.hpp"
 
 namespace seo::nn {
 
@@ -29,12 +30,18 @@ CemResult cem_optimize(const std::function<double(const Vector&)>& objective,
   std::vector<double> scores(config.population);
   std::vector<std::size_t> order(config.population);
 
+  const std::size_t workers = ThreadPool::resolve_threads(config.threads);
+
   for (std::size_t gen = 0; gen < config.generations; ++gen) {
-    for (std::size_t i = 0; i < config.population; ++i) {
+    // Sampling stays serial so the rng stream is identical regardless of
+    // thread count; only the (embarrassingly parallel) scoring fans out.
+    for (std::size_t i = 0; i < config.population; ++i)
       for (std::size_t d = 0; d < dim; ++d)
         samples[i][d] = mean[d] + stddev[d] * rng.gaussian();
-      scores[i] = objective(samples[i]);
-    }
+    const auto score_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) scores[i] = objective(samples[i]);
+    };
+    ThreadPool::run_capped(0, config.population, workers, score_range);
 
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {

@@ -19,6 +19,12 @@ struct CemConfig {
   double init_stddev = 0.5;         ///< initial sampling spread
   double min_stddev = 0.02;         ///< stddev floor (keeps exploring)
   double stddev_decay = 0.95;       ///< extra annealing per generation
+  /// Candidate-evaluation parallelism: 1 = serial (default), 0 = all
+  /// hardware threads, n = up to n objective calls in flight.  Candidates
+  /// are sampled serially from `rng` and scored into index-addressed slots,
+  /// so results are identical for every thread count — but the objective
+  /// itself must then be safe to call concurrently.
+  int threads = 1;
 };
 
 struct CemResult {

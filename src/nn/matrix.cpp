@@ -22,26 +22,38 @@ double Matrix::at(std::size_t r, std::size_t c) const {
 }
 
 Vector Matrix::matvec(const Vector& x) const {
+  Vector y;
+  matvec_into(x, y);
+  return y;
+}
+
+void Matrix::matvec_into(const Vector& x, Vector& y) const {
   SEO_EXPECT(x.size() == cols_);
-  Vector y(rows_, 0.0);
+  SEO_EXPECT(&x != &y);
+  y.resize(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     const double* row = data_.data() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
     y[r] = acc;
   }
-  return y;
 }
 
 Vector Matrix::matvec_transposed(const Vector& x) const {
+  Vector y;
+  matvec_transposed_into(x, y);
+  return y;
+}
+
+void Matrix::matvec_transposed_into(const Vector& x, Vector& y) const {
   SEO_EXPECT(x.size() == rows_);
-  Vector y(cols_, 0.0);
+  SEO_EXPECT(&x != &y);
+  y.assign(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = data_.data() + r * cols_;
     const double xr = x[r];
     for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
   }
-  return y;
 }
 
 void Matrix::add_outer(const Vector& col_vec, const Vector& row_vec,
@@ -59,24 +71,39 @@ void Matrix::fill(double v) {
 }
 
 Vector add(const Vector& a, const Vector& b) {
-  SEO_EXPECT(a.size() == b.size());
-  Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  Vector out;
+  add_into(a, b, out);
   return out;
+}
+
+void add_into(const Vector& a, const Vector& b, Vector& out) {
+  SEO_EXPECT(a.size() == b.size());
+  out.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
 }
 
 Vector sub(const Vector& a, const Vector& b) {
-  SEO_EXPECT(a.size() == b.size());
-  Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  Vector out;
+  sub_into(a, b, out);
   return out;
 }
 
-Vector hadamard(const Vector& a, const Vector& b) {
+void sub_into(const Vector& a, const Vector& b, Vector& out) {
   SEO_EXPECT(a.size() == b.size());
-  Vector out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  out.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+Vector hadamard(const Vector& a, const Vector& b) {
+  Vector out;
+  hadamard_into(a, b, out);
   return out;
+}
+
+void hadamard_into(const Vector& a, const Vector& b, Vector& out) {
+  SEO_EXPECT(a.size() == b.size());
+  out.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {

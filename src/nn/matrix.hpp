@@ -29,8 +29,13 @@ class Matrix {
 
   /// y = A x  (x.size() must equal cols()).
   Vector matvec(const Vector& x) const;
+  /// y = A x written into `y` (resized to rows(); no allocation once `y`
+  /// has capacity).  `y` must not alias `x` — the control-path variant.
+  void matvec_into(const Vector& x, Vector& y) const;
   /// y = A^T x (x.size() must equal rows()); used by backprop.
   Vector matvec_transposed(const Vector& x) const;
+  /// In-place variant of matvec_transposed; `y` must not alias `x`.
+  void matvec_transposed_into(const Vector& x, Vector& y) const;
 
   /// A += scale * (col_vec * row_vec^T); the outer-product gradient update.
   void add_outer(const Vector& col_vec, const Vector& row_vec, double scale);
@@ -43,10 +48,15 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// Elementwise helpers on Vector.
+/// Elementwise helpers on Vector.  The `_into` forms write into `out`
+/// (resized to match; allocation-free once capacity exists) and tolerate
+/// `out` aliasing either input; the value-returning forms delegate to them.
 Vector add(const Vector& a, const Vector& b);
+void add_into(const Vector& a, const Vector& b, Vector& out);
 Vector sub(const Vector& a, const Vector& b);
+void sub_into(const Vector& a, const Vector& b, Vector& out);
 Vector hadamard(const Vector& a, const Vector& b);
+void hadamard_into(const Vector& a, const Vector& b, Vector& out);
 void axpy(double alpha, const Vector& x, Vector& y);  ///< y += alpha*x
 double dot(const Vector& a, const Vector& b);
 double l2_norm(const Vector& a);

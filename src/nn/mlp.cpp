@@ -44,13 +44,24 @@ void Mlp::init_xavier(Rng& rng) {
 }
 
 Vector Mlp::forward(const Vector& input) const {
+  MlpWorkspace workspace;
+  return forward(input, workspace);
+}
+
+const Vector& Mlp::forward(const Vector& input,
+                           MlpWorkspace& workspace) const {
   SEO_EXPECT(input.size() == input_size());
-  Vector h = input;
+  workspace.layers_.resize(weights_.size());
+  const Vector* h = &input;
   for (std::size_t l = 0; l < weights_.size(); ++l) {
-    Vector pre = add(weights_[l].matvec(h), biases_[l]);
-    h = apply_activation(layer_activation(l), pre);
+    Vector& out = workspace.layers_[l];
+    weights_[l].matvec_into(*h, out);
+    const Vector& b = biases_[l];
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += b[i];
+    apply_activation_inplace(layer_activation(l), out);
+    h = &out;
   }
-  return h;
+  return workspace.layers_.back();
 }
 
 double Mlp::train_sample(const Vector& input, const Vector& target) {
@@ -167,10 +178,12 @@ double mse_loss(const Mlp& net, const std::vector<Vector>& inputs,
   SEO_EXPECT(inputs.size() == targets.size());
   SEO_EXPECT(!inputs.empty());
   double acc = 0.0;
+  MlpWorkspace workspace;
+  Vector diff;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const Vector out = net.forward(inputs[i]);
-    const Vector d = sub(out, targets[i]);
-    acc += dot(d, d);
+    const Vector& out = net.forward(inputs[i], workspace);
+    sub_into(out, targets[i], diff);
+    acc += dot(diff, diff);
   }
   return acc / static_cast<double>(inputs.size());
 }

@@ -10,6 +10,7 @@
 
 #include "nn/activation.hpp"
 #include "nn/matrix.hpp"
+#include "util/expect.hpp"
 #include "util/rng.hpp"
 
 namespace seo::nn {
@@ -22,6 +23,25 @@ struct MlpConfig {
   std::vector<std::size_t> sizes;
   Activation hidden_act = Activation::kTanh;
   Activation output_act = Activation::kIdentity;
+};
+
+/// Reusable per-layer buffers for `Mlp::forward`.  Sized lazily on first
+/// use; after that, repeated forward passes through the same architecture
+/// perform zero heap allocations — the property the per-tick control path
+/// relies on.  One workspace per caller (not thread-safe, not shareable
+/// across concurrently-running policies).
+class MlpWorkspace {
+ public:
+  /// Network output of the most recent forward pass; requires at least one
+  /// forward call with this workspace.
+  const Vector& output() const {
+    SEO_EXPECT(!layers_.empty());
+    return layers_.back();
+  }
+
+ private:
+  friend class Mlp;
+  std::vector<Vector> layers_;  ///< activation produced by each layer
 };
 
 class Mlp {
@@ -38,8 +58,14 @@ class Mlp {
   /// Xavier/Glorot-uniform initialization of all weights (biases zero).
   void init_xavier(Rng& rng);
 
-  /// Forward pass; input size must match the first layer.
+  /// Forward pass; input size must match the first layer.  Allocates the
+  /// result — convenience form; delegates to the workspace overload.
   Vector forward(const Vector& input) const;
+
+  /// Allocation-free forward pass: all intermediates live in `workspace`,
+  /// which is grown on first use and reused verbatim afterwards.  Returns
+  /// `workspace.output()`, valid until the next call with that workspace.
+  const Vector& forward(const Vector& input, MlpWorkspace& workspace) const;
 
   /// Forward pass retaining intermediate values, followed by a backward
   /// pass accumulating gradients of 0.5*||output - target||^2.  Returns

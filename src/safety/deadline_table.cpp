@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/expect.hpp"
+#include "util/thread_pool.hpp"
 
 namespace seo {
 
@@ -44,33 +45,46 @@ DeadlineTable::DeadlineTable(DeadlineTableConfig config,
   SEO_EXPECT(config_.max_speed > 0.0);
 
   // Place a virtual obstacle at every reduced coordinate and record the
-  // evaluator's Delta_max.  The ego sits at the origin heading +x.
-  for (int di = 0; di < config_.distance_bins; ++di) {
-    const double d = config_.max_distance * static_cast<double>(di) /
-                     static_cast<double>(config_.distance_bins - 1);
-    for (int bi = 0; bi < config_.bearing_bins; ++bi) {
-      const double chi = -kPi + 2.0 * kPi * static_cast<double>(bi) /
-                                   static_cast<double>(config_.bearing_bins - 1);
-      for (int vi = 0; vi < config_.speed_bins; ++vi) {
-        const double v = config_.max_speed * static_cast<double>(vi) /
-                         static_cast<double>(config_.speed_bins - 1);
-        VehicleState state;
-        state.position = {0.0, 0.0};
-        state.heading = 0.0;
-        state.speed = v;
-        // Reconstruct the obstacle whose surface clearance is exactly d.
-        const double center_dist = d + config_.obstacle_radius + body_radius_;
-        Obstacle obstacle{Vec2::from_polar(center_dist, chi),
-                          config_.obstacle_radius};
-        const ObstacleField field({obstacle});
-        const SafeInterval si = source.evaluate(state, Control{}, field);
-        // Grid points are within the domain by construction, but guard a
-        // source that still reports "unconstrained" at the very edge with a
-        // bounded large value so interpolation is never poisoned.
-        cell(di, bi, vi) = si.constrained ? si.delta_max_s : 1e3;
+  // evaluator's Delta_max.  The ego sits at the origin heading +x.  The grid
+  // is partitioned into distance slabs; cells are independent and each slab
+  // writes a disjoint region of values_, so any thread count produces a
+  // bit-identical table.
+  const auto build_slabs = [this, &source](std::size_t di_lo,
+                                           std::size_t di_hi) {
+    for (std::size_t di = di_lo; di < di_hi; ++di) {
+      const double d = config_.max_distance * static_cast<double>(di) /
+                       static_cast<double>(config_.distance_bins - 1);
+      for (int bi = 0; bi < config_.bearing_bins; ++bi) {
+        const double chi =
+            -kPi + 2.0 * kPi * static_cast<double>(bi) /
+                       static_cast<double>(config_.bearing_bins - 1);
+        for (int vi = 0; vi < config_.speed_bins; ++vi) {
+          const double v = config_.max_speed * static_cast<double>(vi) /
+                           static_cast<double>(config_.speed_bins - 1);
+          VehicleState state;
+          state.position = {0.0, 0.0};
+          state.heading = 0.0;
+          state.speed = v;
+          // Reconstruct the obstacle whose surface clearance is exactly d.
+          const double center_dist =
+              d + config_.obstacle_radius + body_radius_;
+          Obstacle obstacle{Vec2::from_polar(center_dist, chi),
+                            config_.obstacle_radius};
+          const ObstacleField field({obstacle});
+          const SafeInterval si = source.evaluate(state, Control{}, field);
+          // Grid points are within the domain by construction, but guard a
+          // source that still reports "unconstrained" at the very edge with
+          // a bounded large value so interpolation is never poisoned.
+          cell(static_cast<int>(di), bi, vi) =
+              si.constrained ? si.delta_max_s : 1e3;
+        }
       }
     }
-  }
+  };
+
+  ThreadPool::run_capped(0, static_cast<std::size_t>(config_.distance_bins),
+                         ThreadPool::resolve_threads(config_.threads),
+                         build_slabs);
 }
 
 DeadlineTable::DeadlineTable(DeadlineTableConfig config, double body_radius,

@@ -22,6 +22,12 @@ struct DeadlineTableConfig {
   double max_distance = 40.0;  ///< table domain = sensing range
   double max_speed = 15.0;
   double obstacle_radius = 0.8;  ///< representative obstacle size for build
+  /// Worker threads for the build: 1 = serial (default), 0 = all hardware
+  /// threads, n = exactly n.  Every cell is an independent virtual-obstacle
+  /// evaluation written to its own slot, so the result is bit-identical to
+  /// the serial build for any thread count.  Not part of the serialized
+  /// format — an execution knob, not a table property.
+  int threads = 1;
 };
 
 /// Precomputed T(x,u).  Built from any SafeIntervalEvaluator by placing a

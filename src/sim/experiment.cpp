@@ -1,9 +1,12 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/expect.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace seo {
 
@@ -23,6 +26,46 @@ EnergyComparison ExperimentResult::combined_model_energy(
   return total;
 }
 
+namespace {
+
+/// Folds one finished episode into the aggregate — the single merge path
+/// shared by the serial and batched engines, applied strictly in attempt
+/// order so the aggregate never depends on completion order.
+void consume_episode(const ExperimentConfig& config,
+                     const EpisodeResult& episode, ExperimentResult& result) {
+  ++result.attempts;
+  if (config.require_success && !episode.success()) {
+    ++result.failures;
+    if (episode.collided) ++result.collisions;
+    if (episode.off_road) ++result.off_roads;
+    if (episode.timed_out) ++result.timeouts;
+    return;
+  }
+
+  SEO_ASSERT(episode.pipelines.size() == result.pipelines.size());
+  for (std::size_t i = 0; i < episode.pipelines.size(); ++i) {
+    auto& agg = result.pipelines[i];
+    const auto& pr = episode.pipelines[i];
+    agg.delta = pr.delta;
+    agg.tally.merge(pr.tally);
+    agg.offload_submitted += pr.offload_submitted;
+    agg.offload_applied += pr.offload_applied;
+    agg.offload_fallbacks += pr.offload_fallbacks;
+  }
+  for (const int key : episode.deadline_hist.keys())
+    result.deadline_hist.add(key, episode.deadline_hist.count(key));
+  result.intervals += episode.intervals;
+  result.unconstrained_intervals += episode.unconstrained_intervals;
+  result.avg_speed.add(episode.avg_speed);
+  result.duration_s.add(episode.duration_s);
+  // min_h is +inf for obstacle-free scenarios (vacuously safe).
+  if (std::isfinite(episode.min_h)) result.min_h.add(episode.min_h);
+  result.filter_engagements += episode.filter_engagements;
+  ++result.episodes_used;
+}
+
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   SEO_EXPECT(config.episodes >= 1);
   SEO_EXPECT(config.max_attempts >= config.episodes);
@@ -40,42 +83,45 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.pipelines.push_back(std::move(agg));
   }
 
+  const std::size_t workers = ThreadPool::resolve_threads(config.threads);
+
+  // Attempt k is fully determined by seed base_seed + k, so the batched
+  // engine runs waves of independent attempts and merges them in attempt
+  // order.  A wave may overshoot (episodes beyond the target finish and are
+  // discarded unmerged); the merged prefix — and hence every field of the
+  // result, including `attempts` — matches the serial engine exactly.
   while (result.episodes_used < config.episodes &&
          result.attempts < config.max_attempts) {
-    ScenarioConfig scenario = config.scenario;
-    scenario.seed = config.base_seed + static_cast<std::uint64_t>(
-                                           result.attempts);
-    ++result.attempts;
+    // Speculation budget: episodes still needed plus one retry per failure
+    // seen so far.  A clean run never simulates episodes the merge cannot
+    // consume, while failure-heavy runs widen back toward full `workers`
+    // parallelism instead of degenerating to serial retries.  Oversized
+    // waves stay correct regardless — surplus episodes are discarded
+    // unmerged, so every merged field matches the serial engine.
+    const std::size_t budget =
+        static_cast<std::size_t>(config.episodes - result.episodes_used) +
+        static_cast<std::size_t>(result.failures);
+    const std::size_t wave =
+        std::min({workers <= 1 ? std::size_t{1} : workers,
+                  static_cast<std::size_t>(config.max_attempts -
+                                           result.attempts),
+                  budget});
+    const auto first_attempt = static_cast<std::uint64_t>(result.attempts);
 
-    const EpisodeResult episode = run_episode(scenario);
-    if (config.require_success && !episode.success()) {
-      ++result.failures;
-      if (episode.collided) ++result.collisions;
-      if (episode.off_road) ++result.off_roads;
-      if (episode.timed_out) ++result.timeouts;
-      continue;
-    }
+    std::vector<EpisodeResult> episodes(wave);
+    const auto run_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) {
+        ScenarioConfig scenario = config.scenario;
+        scenario.seed = config.base_seed + first_attempt + k;
+        episodes[k] = run_episode(scenario);
+      }
+    };
+    ThreadPool::run_capped(0, wave, workers, run_range);
 
-    SEO_ASSERT(episode.pipelines.size() == result.pipelines.size());
-    for (std::size_t i = 0; i < episode.pipelines.size(); ++i) {
-      auto& agg = result.pipelines[i];
-      const auto& pr = episode.pipelines[i];
-      agg.delta = pr.delta;
-      agg.tally.merge(pr.tally);
-      agg.offload_submitted += pr.offload_submitted;
-      agg.offload_applied += pr.offload_applied;
-      agg.offload_fallbacks += pr.offload_fallbacks;
+    for (std::size_t k = 0; k < wave; ++k) {
+      if (result.episodes_used >= config.episodes) break;
+      consume_episode(config, episodes[k], result);
     }
-    for (const int key : episode.deadline_hist.keys())
-      result.deadline_hist.add(key, episode.deadline_hist.count(key));
-    result.intervals += episode.intervals;
-    result.unconstrained_intervals += episode.unconstrained_intervals;
-    result.avg_speed.add(episode.avg_speed);
-    result.duration_s.add(episode.duration_s);
-    // min_h is +inf for obstacle-free scenarios (vacuously safe).
-    if (std::isfinite(episode.min_h)) result.min_h.add(episode.min_h);
-    result.filter_engagements += episode.filter_engagements;
-    ++result.episodes_used;
   }
 
   if (result.episodes_used < config.episodes) {

@@ -19,6 +19,11 @@ struct ExperimentConfig {
   std::uint64_t base_seed = 1000;
   int max_attempts = 250;       ///< give up after this many total episodes
   bool require_success = true;  ///< only aggregate collision-free completions
+  /// Episode-level parallelism: 1 = serial (default), 0 = all hardware
+  /// threads, n = up to n episodes in flight.  Attempt k always runs with
+  /// seed base_seed + k on its own Rng stream, and results are merged in
+  /// attempt order, so the aggregate is identical for every thread count.
+  int threads = 1;
 };
 
 /// Per-pipeline aggregate across episodes.

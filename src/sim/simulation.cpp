@@ -178,6 +178,11 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
 
   const auto max_ticks = static_cast<long long>(config.max_episode_s /
                                                 config.tau_s);
+  if (trace != nullptr) trace->reserve(static_cast<std::size_t>(max_ticks));
+
+  // Reused across ticks; detections are appended per tick after clear(),
+  // so steady state never reallocates.
+  PolicyObservation obs;
 
   for (long long tick_index = 0; tick_index < max_ticks; ++tick_index) {
     now = time.seconds(tick_index);
@@ -267,7 +272,7 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
     }
 
     // (e) Aggregate Theta and run the controller + safety filter.
-    PolicyObservation obs;
+    obs.detections.clear();
     obs.state = x;
     obs.road = &world.road();
     obs.time_s = now;

@@ -31,6 +31,9 @@ class EpisodeTrace {
  public:
   void add(const TraceSample& sample) { samples_.push_back(sample); }
   void clear() { samples_.clear(); }
+  /// Pre-sizes the recording (run_episode reserves the full episode up
+  /// front so tracing never reallocates mid-loop).
+  void reserve(std::size_t samples) { samples_.reserve(samples); }
 
   const std::vector<TraceSample>& samples() const { return samples_; }
   std::size_t size() const { return samples_.size(); }

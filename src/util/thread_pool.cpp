@@ -1,0 +1,201 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+namespace {
+/// Set while a thread runs a task for some pool; used to detect nested
+/// parallel_for calls (which must run inline to avoid deadlock).
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(threads, 1);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    // The push must happen under sleep_mutex_: workers evaluate their
+    // "any task queued?" wait predicate while holding it, so a push outside
+    // it could land between a worker's scan and its sleep — a lost wakeup
+    // that would strand the task until the next enqueue.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    const std::size_t target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    std::lock_guard<std::mutex> qlock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t worker_index,
+                         std::function<void()>& task) {
+  // Own queue first, newest task (LIFO keeps the cache warm) ...
+  {
+    auto& q = *queues_[worker_index];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  // ... then steal the oldest task from a sibling (FIFO spreads the big,
+  // early chunks of a parallel_for across workers).
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    auto& q = *queues_[(worker_index + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  t_worker_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(worker_index, task)) {
+      task();  // packaged_task captures exceptions; plain tasks must not throw
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this, worker_index] {
+      if (stop_) return true;
+      for (const auto& q : queues_) {
+        std::lock_guard<std::mutex> qlock(q->mutex);
+        if (!q->tasks.empty()) return true;
+      }
+      return false;
+    });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const std::size_t count = end - begin;
+  // Inline when the range is one chunk, the pool is trivial, or we are
+  // already inside a worker (nested parallelism would deadlock on join).
+  if (count <= g || size() <= 1 || t_worker_pool != nullptr) {
+    fn(begin, end);
+    return;
+  }
+
+  const std::size_t chunks = (count + g - 1) / g;
+  // Join state shared with the chunk tasks; heap-allocated so stray tasks
+  // can never outlive the stack frame they reference.
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * g;
+    const std::size_t hi = std::min(end, lo + g);
+    enqueue([join, &fn, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(join->mutex);
+        if (!join->error) join->error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(join->mutex);
+      if (--join->remaining == 0) join->done.notify_all();
+    });
+  }
+
+  // Help drain the pool while waiting: the caller works instead of idling,
+  // which also guarantees progress when the caller holds the only free core.
+  std::function<void()> task;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(join->mutex);
+      if (join->remaining == 0) break;
+    }
+    if (try_pop(0, task)) {
+      t_worker_pool = this;
+      task();
+      t_worker_pool = nullptr;
+      task = nullptr;
+    } else {
+      std::unique_lock<std::mutex> lock(join->mutex);
+      join->done.wait(lock, [&join] { return join->remaining == 0; });
+      break;
+    }
+  }
+  if (join->error) std::rethrow_exception(join->error);
+}
+
+void ThreadPool::parallel_for_capped(
+    std::size_t begin, std::size_t end, std::size_t max_concurrency,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (max_concurrency <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t count = end - begin;
+  const std::size_t grain = (count + max_concurrency - 1) / max_concurrency;
+  parallel_for(begin, end, grain, fn);
+}
+
+void ThreadPool::run_capped(
+    std::size_t begin, std::size_t end, std::size_t max_concurrency,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (max_concurrency <= 1) {
+    fn(begin, end);
+    return;
+  }
+  global().parallel_for_capped(begin, end, max_concurrency, fn);
+}
+
+bool ThreadPool::on_worker_thread() { return t_worker_pool != nullptr; }
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(hardware_threads());
+  return pool;
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+std::size_t ThreadPool::resolve_threads(int requested) {
+  if (requested <= 0) return hardware_threads();
+  return static_cast<std::size_t>(requested);
+}
+
+}  // namespace seo

@@ -1,0 +1,114 @@
+// Work-stealing thread pool — the parallel execution substrate for the
+// offline-heavy paths (deadline-table builds, experiment batches, CEM
+// population rollouts).  Design goals, in order:
+//
+//  1. Deterministic call sites: the pool itself schedules nondeterministically
+//     (that is the point), so every user partitions work into
+//     index-addressable units and merges results in index order.  The pool
+//     offers `parallel_for` for exactly that shape.
+//  2. Exception safety: a task that throws never takes a worker down; the
+//     exception is rethrown at the submitting call site (`future::get` or the
+//     `parallel_for` caller).
+//  3. No oversubscription: nested `parallel_for` calls from inside a worker
+//     run inline on the calling thread instead of deadlocking on the pool.
+//
+// Each worker owns a deque; the owner pushes/pops at the back (LIFO, cache
+// warm) while idle workers steal from the front (FIFO, oldest first) —
+// the classic work-stealing discipline, here with per-deque mutexes rather
+// than a lock-free Chase-Lev deque since tasks in this codebase are
+// milliseconds, not nanoseconds.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace seo {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns a future for its result.  Exceptions thrown
+  /// by `fn` surface at `future::get()`.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Splits [begin, end) into chunks of at most `grain` indices and runs
+  /// `fn(chunk_begin, chunk_end)` across the pool, blocking until every
+  /// chunk is done.  The first exception thrown by any chunk is rethrown
+  /// here.  Called from inside a pool worker (nested parallelism) or with a
+  /// single-chunk range, it runs inline on the calling thread.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// parallel_for with at most `max_concurrency` chunks — the mechanism
+  /// behind every user-facing `threads` knob: tasks submitted round-robin
+  /// occupy at most one worker per chunk, so the knob caps effective
+  /// concurrency even when the shared pool is larger.  `max_concurrency`
+  /// of 0 or 1 runs the whole range inline on the calling thread.
+  void parallel_for_capped(
+      std::size_t begin, std::size_t end, std::size_t max_concurrency,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// The entry point behind every user-facing `threads` knob: runs the
+  /// whole range inline — without instantiating the global pool — when
+  /// `max_concurrency` <= 1, otherwise fans out on the global pool via
+  /// parallel_for_capped.  Serial callers therefore never pay for idle
+  /// worker threads.
+  static void run_capped(std::size_t begin, std::size_t end,
+                         std::size_t max_concurrency,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  static bool on_worker_thread();
+
+  /// Process-wide pool, lazily created with `hardware_threads()` workers.
+  static ThreadPool& global();
+
+  /// `std::thread::hardware_concurrency()` with a floor of 1.
+  static std::size_t hardware_threads();
+
+  /// Maps a user-facing thread knob to a worker count: values >= 1 are taken
+  /// literally, 0 (or negative) means "all hardware threads".
+  static std::size_t resolve_threads(int requested);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t worker_index);
+  bool try_pop(std::size_t worker_index, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::size_t next_queue_ = 0;  ///< round-robin cursor for external submits
+  bool stop_ = false;
+};
+
+}  // namespace seo

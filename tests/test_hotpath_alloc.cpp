@@ -1,0 +1,97 @@
+// Counting-allocator proof that the per-tick NN control path performs zero
+// heap allocations in steady state.  This file overrides global operator
+// new/delete for its own test binary (tests build one executable per file,
+// so the override cannot leak into other suites); the counters are read
+// around repeated forward passes after a warm-up call has grown every
+// reusable buffer to capacity.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "control/neural_policy.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace seo {
+namespace {
+
+TEST(HotPathAllocations, MlpForwardWithWorkspaceIsAllocationFree) {
+  Rng rng(17);
+  nn::MlpConfig config;
+  config.sizes = {8, 24, 24, 2};
+  nn::Mlp net(config);
+  net.init_xavier(rng);
+
+  const nn::Vector input{0.1, -0.3, 0.9, 0.4, 0.2, -0.1, 0.99, 0.5};
+  nn::MlpWorkspace workspace;
+  // Warm-up grows the per-layer buffers to their steady-state capacity.
+  const nn::Vector expected = net.forward(input, workspace);
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    const nn::Vector& out = net.forward(input, workspace);
+    ASSERT_EQ(out.size(), 2u);
+  }
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u)
+      << "Mlp::forward allocated in steady state";
+  EXPECT_EQ(workspace.output(), expected);
+}
+
+TEST(HotPathAllocations, MatvecIntoReusesCapacity) {
+  nn::Matrix m(16, 16, 0.25);
+  const nn::Vector x(16, 1.0);
+  nn::Vector y;
+  m.matvec_into(x, y);  // warm-up sizes y
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) m.matvec_into(x, y);
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+}
+
+TEST(HotPathAllocations, NeuralPolicyActIsAllocationFreeInSteadyState) {
+  Rng rng(23);
+  NeuralPolicy policy(NeuralPolicyConfig{}, BicycleParams{}, rng);
+
+  const Road road;
+  PolicyObservation obs;
+  obs.state.position = {5.0, 0.3};
+  obs.state.heading = 0.02;
+  obs.state.speed = 6.0;
+  obs.road = &road;
+  obs.detections.push_back(Detection{{20.0, 0.5}, 0.8, 15.0});
+
+  (void)policy.act(obs);  // warm-up
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    const Control u = policy.act(obs);
+    ASSERT_LE(std::abs(u.throttle), 1.0);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "NeuralPolicy::act allocated in steady state";
+}
+
+}  // namespace
+}  // namespace seo

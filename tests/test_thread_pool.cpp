@@ -1,0 +1,258 @@
+// Tests for the parallel execution subsystem: the work-stealing pool itself
+// (submit futures, parallel_for coverage, exception propagation) and the
+// serial-equivalence guarantees of its users — a DeadlineTable built with N
+// threads is bit-identical to the serial build, and a batched experiment
+// reproduces the serial aggregate exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/cem.hpp"
+#include "safety/deadline_table.hpp"
+#include "safety/safe_interval.hpp"
+#include "sim/experiment.hpp"
+#include "util/thread_pool.hpp"
+
+namespace seo {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsFutureValues) {
+  ThreadPool pool(4);
+  auto a = pool.submit([] { return 7; });
+  auto b = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);
+  pool.parallel_for(0, hits.size(), 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 1, 64, [&](std::size_t lo, std::size_t hi) {
+    sum += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCappedBoundsChunkCountAndCoversRange) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  std::vector<std::atomic<int>> hits(10);
+  pool.parallel_for_capped(0, hits.size(), 3,
+                           [&](std::size_t lo, std::size_t hi) {
+                             ++chunks;
+                             for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                           });
+  EXPECT_LE(chunks.load(), 3);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // Cap of 1 (or 0) runs inline as a single chunk.
+  chunks = 0;
+  pool.parallel_for_capped(0, 10, 1,
+                           [&](std::size_t, std::size_t) { ++chunks; });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, SubmittedExceptionSurfacesAtGet) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, ParallelForRethrowsAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo == 42) throw std::runtime_error("chunk 42");
+                        }),
+      std::runtime_error);
+  // All chunks joined, no worker died: the pool still completes work.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Nested call from a worker must not deadlock.
+      pool.parallel_for(0, 8, 2, [&](std::size_t l2, std::size_t h2) {
+        total += static_cast<int>(h2 - l2);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, ResolveThreadsMapsKnobToWorkerCount) {
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(6), 6u);
+  EXPECT_EQ(ThreadPool::resolve_threads(0), ThreadPool::hardware_threads());
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+// --- Serial equivalence of the parallel users ------------------------------
+
+std::string table_text(const DeadlineTable& table) {
+  std::ostringstream out;
+  table.save(out);
+  return out.str();
+}
+
+TEST(ParallelDeadlineTable, BitIdenticalToSerialBuild) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  const double body = BarrierConfig{}.body_radius;
+
+  DeadlineTableConfig serial_config;
+  serial_config.threads = 1;
+  const DeadlineTable serial(serial_config, source, body);
+
+  for (const int threads : {2, 4, 8}) {
+    DeadlineTableConfig parallel_config;
+    parallel_config.threads = threads;
+    const DeadlineTable parallel(parallel_config, source, body);
+    // save() prints with 17 significant digits, which round-trips doubles
+    // exactly: identical text <=> bit-identical cell values.
+    EXPECT_EQ(table_text(serial), table_text(parallel))
+        << "table built with " << threads << " threads diverged";
+  }
+}
+
+ExperimentConfig quick_experiment(int threads) {
+  ExperimentConfig config;
+  config.scenario = default_scenario();
+  config.scenario.obstacle_count = 2;
+  config.scenario.use_lookup_table = false;  // keep per-episode cost small
+  config.episodes = 5;
+  config.max_attempts = 20;
+  config.base_seed = 4242;
+  config.threads = threads;
+  return config;
+}
+
+TEST(ParallelExperiment, ReproducesSerialResultExactly) {
+  const ExperimentResult serial = run_experiment(quick_experiment(1));
+  const ExperimentResult batched = run_experiment(quick_experiment(8));
+
+  EXPECT_EQ(serial.episodes_used, batched.episodes_used);
+  EXPECT_EQ(serial.attempts, batched.attempts);
+  EXPECT_EQ(serial.failures, batched.failures);
+  EXPECT_EQ(serial.collisions, batched.collisions);
+  EXPECT_EQ(serial.off_roads, batched.off_roads);
+  EXPECT_EQ(serial.timeouts, batched.timeouts);
+  EXPECT_EQ(serial.intervals, batched.intervals);
+  EXPECT_EQ(serial.unconstrained_intervals, batched.unconstrained_intervals);
+  EXPECT_EQ(serial.filter_engagements, batched.filter_engagements);
+
+  // Exact (not approximate) equality: merge order is attempt order in both.
+  EXPECT_EQ(serial.avg_speed.mean(), batched.avg_speed.mean());
+  EXPECT_EQ(serial.duration_s.sum(), batched.duration_s.sum());
+  EXPECT_EQ(serial.min_h.min(), batched.min_h.min());
+
+  ASSERT_EQ(serial.deadline_hist.keys(), batched.deadline_hist.keys());
+  for (const int key : serial.deadline_hist.keys())
+    EXPECT_EQ(serial.deadline_hist.count(key), batched.deadline_hist.count(key));
+
+  ASSERT_EQ(serial.pipelines.size(), batched.pipelines.size());
+  for (std::size_t i = 0; i < serial.pipelines.size(); ++i) {
+    const auto& s = serial.pipelines[i];
+    const auto& b = batched.pipelines[i];
+    EXPECT_EQ(s.tally.total_frames(), b.tally.total_frames());
+    EXPECT_EQ(s.tally.total_tx_energy_j(), b.tally.total_tx_energy_j());
+    EXPECT_EQ(s.offload_submitted, b.offload_submitted);
+    EXPECT_EQ(s.offload_applied, b.offload_applied);
+    EXPECT_EQ(s.offload_fallbacks, b.offload_fallbacks);
+  }
+}
+
+TEST(ParallelExperiment, ReproducesSerialResultWithFailures) {
+  // Unfiltered with dense obstacles: some attempts collide, so the batched
+  // engine must reproduce the serial skip/retry bookkeeping too, not just
+  // the happy path.
+  const auto failing_config = [](int threads) {
+    ExperimentConfig config;
+    config.scenario = default_scenario();
+    config.scenario.obstacle_count = 8;
+    config.scenario.moving_obstacles = true;
+    config.scenario.filtered = false;
+    config.scenario.use_lookup_table = false;
+    config.episodes = 3;
+    config.max_attempts = 24;
+    config.base_seed = 555;
+    config.threads = threads;
+    return config;
+  };
+  const ExperimentResult serial = run_experiment(failing_config(1));
+  const ExperimentResult batched = run_experiment(failing_config(4));
+
+  // The point of this scenario: failures actually happen, so waves overshoot
+  // and the merge discards surplus episodes.
+  ASSERT_GT(serial.failures, 0);
+  EXPECT_GT(serial.attempts, serial.episodes_used);
+
+  EXPECT_EQ(serial.episodes_used, batched.episodes_used);
+  EXPECT_EQ(serial.attempts, batched.attempts);
+  EXPECT_EQ(serial.failures, batched.failures);
+  EXPECT_EQ(serial.collisions, batched.collisions);
+  EXPECT_EQ(serial.off_roads, batched.off_roads);
+  EXPECT_EQ(serial.timeouts, batched.timeouts);
+  EXPECT_EQ(serial.avg_speed.mean(), batched.avg_speed.mean());
+  EXPECT_EQ(serial.min_h.min(), batched.min_h.min());
+  EXPECT_EQ(serial.intervals, batched.intervals);
+}
+
+TEST(ParallelCem, ReproducesSerialOptimization) {
+  // Deterministic quadratic objective: argmax at (2, -1, 0.5, ...).
+  const auto objective = [](const nn::Vector& x) {
+    double score = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      const double target = d == 0 ? 2.0 : (d == 1 ? -1.0 : 0.5);
+      score -= (x[d] - target) * (x[d] - target);
+    }
+    return score;
+  };
+  nn::CemConfig config;
+  config.population = 16;
+  config.elites = 4;
+  config.generations = 10;
+
+  config.threads = 1;
+  Rng serial_rng(99);
+  const nn::CemResult serial =
+      nn::cem_optimize(objective, nn::Vector(6, 0.0), config, serial_rng);
+
+  config.threads = 4;
+  Rng parallel_rng(99);
+  const nn::CemResult parallel =
+      nn::cem_optimize(objective, nn::Vector(6, 0.0), config, parallel_rng);
+
+  EXPECT_EQ(serial.best_score, parallel.best_score);
+  EXPECT_EQ(serial.best_parameters, parallel.best_parameters);
+  EXPECT_EQ(serial.generation_best, parallel.generation_best);
+}
+
+}  // namespace
+}  // namespace seo

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Convert google-benchmark JSON output into the repo's BENCH_hotpaths.json.
+
+Usage:
+    bench/micro_hotpaths --benchmark_format=json | tools/bench_to_json.py
+    tools/bench_to_json.py raw.json [-o BENCH_hotpaths.json]
+
+Keeps one entry per benchmark (name -> real/cpu time) plus enough host
+context to interpret the numbers across machines, so successive commits of
+BENCH_hotpaths.json form a perf trajectory for the hot paths.
+"""
+import argparse
+import json
+import sys
+
+
+def convert(raw: dict) -> dict:
+    context = raw.get("context", {})
+    out = {
+        "context": {
+            "date": context.get("date"),
+            "host_name": context.get("host_name"),
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "cpu_scaling_enabled": context.get("cpu_scaling_enabled"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "benchmarks": {},
+    }
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out["benchmarks"][bench["name"]] = {
+            "real_time": bench.get("real_time"),
+            "cpu_time": bench.get("cpu_time"),
+            "time_unit": bench.get("time_unit"),
+            "iterations": bench.get("iterations"),
+        }
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", nargs="?", default="-",
+                        help="google-benchmark JSON file (default: stdin)")
+    parser.add_argument("-o", "--output", default="BENCH_hotpaths.json",
+                        help="output path (default: BENCH_hotpaths.json)")
+    args = parser.parse_args()
+
+    if args.input == "-":
+        raw = json.load(sys.stdin)
+    else:
+        with open(args.input) as f:
+            raw = json.load(f)
+
+    result = convert(raw)
+    with open(args.output, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {len(result['benchmarks'])} benchmarks to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
