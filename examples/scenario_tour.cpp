@@ -1,0 +1,52 @@
+// Scenario tour: run every rig in the scenario library for a few episodes
+// and print one summary row each — the quickest way to see what workload
+// space the library spans before designing a sweep grid.
+//
+//   ./examples/scenario_tour [episodes] [threads]
+#include <cstdlib>
+#include <iostream>
+
+#include "energy/report.hpp"
+#include "sim/experiment.hpp"
+#include "sim/scenario_library.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 0;
+
+  seo::TextTable table("Scenario library tour (" + std::to_string(episodes) +
+                       " episodes each)");
+  table.set_header({"scenario", "mode", "combined gain", "avg delta_max",
+                    "avg speed", "min h [m]", "engages", "failures"});
+
+  for (const auto& entry : seo::scenario_library()) {
+    seo::ExperimentConfig config;
+    config.scenario = entry.make();
+    config.episodes = episodes;
+    config.max_attempts = episodes * 5;
+    config.require_success = false;  // a tour reports everything it sees
+    config.threads = threads;
+    const seo::ExperimentResult r = seo::run_experiment(config);
+
+    table.add_row({
+        entry.name,
+        seo::to_string(config.scenario.mode),
+        seo::fmt_percent(
+            r.combined_model_energy(config.scenario.platform).gain()),
+        seo::fmt_double(r.mean_delta_max(), 2),
+        seo::fmt_double(r.avg_speed.mean(), 2),
+        seo::fmt_double(r.min_h.empty() ? 0.0 : r.min_h.mean(), 2),
+        std::to_string(r.filter_engagements),
+        std::to_string(r.collisions + r.off_roads + r.timeouts),
+    });
+  }
+  std::cout << table.render() << "\n";
+  for (const auto& entry : seo::scenario_library())
+    std::cout << entry.name << ": " << entry.summary << "\n";
+  std::cout << "\nNext step: pick scenarios and sweep axes, e.g.\n"
+               "  tools/sweep --scenarios lossy_channel,bursty_edge \\\n"
+               "              --axis channel_mbps=5,10,20 --axis "
+               "deadline_cap=2,4\n";
+  return 0;
+}

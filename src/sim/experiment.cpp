@@ -34,11 +34,14 @@ namespace {
 void consume_episode(const ExperimentConfig& config,
                      const EpisodeResult& episode, ExperimentResult& result) {
   ++result.attempts;
+  // Outcome counters cover every consumed attempt, so sweep rows report
+  // collision/off-road/timeout rates even when require_success is off and
+  // the failed episodes merge into the aggregate below.
+  if (episode.collided) ++result.collisions;
+  if (episode.off_road) ++result.off_roads;
+  if (episode.timed_out) ++result.timeouts;
   if (config.require_success && !episode.success()) {
     ++result.failures;
-    if (episode.collided) ++result.collisions;
-    if (episode.off_road) ++result.off_roads;
-    if (episode.timed_out) ++result.timeouts;
     return;
   }
 

@@ -42,7 +42,9 @@ struct PipelineAggregate {
 struct ExperimentResult {
   int episodes_used = 0;
   int attempts = 0;
-  int failures = 0;    ///< episodes skipped (sum of the three below)
+  int failures = 0;    ///< episodes excluded from the aggregate (0 when
+                       ///< require_success is off; otherwise the sum of
+                       ///< the three outcome counters below)
   int collisions = 0;  ///< episodes that hit an obstacle
   int off_roads = 0;   ///< episodes that left the drivable band
   int timeouts = 0;    ///< episodes that ran out the clock

@@ -58,7 +58,11 @@ MovingObstacleField make_moving_obstacles(const ScenarioConfig& config,
     m.osc_omega = config.obstacle_osc_period > 0.0
                       ? kTwoPi / config.obstacle_osc_period
                       : 0.0;
-    m.osc_phase = rng.uniform(0.0, kTwoPi);
+    // Phase 0 or pi (sin = 0): the t = 0 snapshot coincides with the
+    // static placement, the pacing band stays centered on the placed
+    // position (|y| <= lateral_max + amplitude), and each obstacle still
+    // starts pacing in a random direction.
+    m.osc_phase = rng.uniform(0.0, 1.0) < 0.5 ? 0.0 : kTwoPi * 0.5;
     motions.push_back(m);
   }
   return MovingObstacleField{std::move(motions)};
@@ -67,6 +71,7 @@ MovingObstacleField make_moving_obstacles(const ScenarioConfig& config,
 ObstacleField make_obstacles(const ScenarioConfig& config, Rng& rng) {
   SEO_EXPECT(config.obstacle_count >= 0);
   SEO_EXPECT(config.obstacle_region > 0.0 && config.obstacle_region <= 1.0);
+  SEO_EXPECT(config.min_obstacle_gap >= 0.0);
 
   std::vector<Obstacle> obstacles;
   if (config.obstacle_count == 0) return ObstacleField{};
@@ -77,15 +82,32 @@ ObstacleField make_obstacles(const ScenarioConfig& config, Rng& rng) {
   const double spacing =
       region_len / static_cast<double>(config.obstacle_count + 1);
 
-  double prev_x = region_start;
-  for (int i = 0; i < config.obstacle_count; ++i) {
+  // Placement band: keep a small entry margin at the region start and an
+  // exit margin before the end of the route.
+  const double lo = region_start + 1.0;
+  const double hi = config.road.length - 2.0;
+  SEO_EXPECT(hi > lo);
+  // Effective longitudinal gap: the configured minimum, shrunk only when
+  // the requested count cannot physically fit in the band (dense fields
+  // then degrade to even packing instead of spilling past the route end).
+  const int count = config.obstacle_count;
+  const double gap =
+      count > 1 ? std::min(config.min_obstacle_gap,
+                           (hi - lo) / static_cast<double>(count - 1))
+                : config.min_obstacle_gap;
+
+  double prev_x = lo - gap;
+  for (int i = 0; i < count; ++i) {
     const double nominal =
         region_start + spacing * static_cast<double>(i + 1);
     const double jitter = rng.uniform(-0.25, 0.25) * spacing;
-    double x = std::clamp(nominal + jitter, region_start + 1.0,
-                          config.road.length - 2.0);
-    // Enforce a minimum longitudinal gap so scenarios stay drivable.
-    x = std::max(x, prev_x + config.min_obstacle_gap * 0.5);
+    double x = std::clamp(nominal + jitter, lo, hi);
+    // Enforce the minimum longitudinal gap so scenarios stay drivable, and
+    // cap so every remaining obstacle (at `gap` spacing) still fits before
+    // `hi` — together these keep all placements inside [lo, hi] with
+    // pairwise gaps >= `gap`.
+    x = std::max(x, prev_x + gap);
+    x = std::min(x, hi - gap * static_cast<double>(count - 1 - i));
     prev_x = x;
     const double y =
         rng.uniform(-config.obstacle_lateral_max, config.obstacle_lateral_max);

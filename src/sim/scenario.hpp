@@ -104,6 +104,10 @@ ScenarioConfig default_scenario(double tau_s = 0.02);
 /// Places `config.obstacle_count` obstacles in the final
 /// `config.obstacle_region` fraction of the road, deterministically from
 /// `rng`: jittered even longitudinal spacing, uniform lateral offsets.
+/// Guarantees (see tests/test_scenario_library.cpp property suite): every
+/// center lies inside the region band with |y| <= obstacle_lateral_max, and
+/// consecutive longitudinal gaps are >= min_obstacle_gap whenever that many
+/// obstacles fit in the band (otherwise the gap degrades to even packing).
 ObstacleField make_obstacles(const ScenarioConfig& config, Rng& rng);
 
 /// Same placement, but each obstacle paces laterally (and optionally

@@ -1,6 +1,13 @@
 // Scenario <-> text configuration bridge: apply key=value overrides to a
-// ScenarioConfig so experiments can be described in files (see
-// examples/custom_scenario and docs in README).
+// ScenarioConfig so experiments can be described in files or on a CLI (see
+// examples/custom_scenario, the `sweep` tool and docs in README).
+//
+// The key set is table-driven: one registry (scenario_keys) feeds
+// apply_overrides, scenario_config_template and the sweep engine's axis
+// validation, so the three can never drift apart.  Every ScenarioConfig
+// field is reachable: top-level scalars directly, component configs through
+// their salient knobs, and the pipeline rig through `scenario` (library
+// base) and `tau_ms` (rebuilds the paper rig on a new base period).
 #pragma once
 
 #include <string>
@@ -11,18 +18,27 @@
 
 namespace seo {
 
+/// All recognized override keys, in template order.  `scenario` (library
+/// base) is always first and `tau_ms` second: the base is swapped in, then
+/// retimed (sensor periods keep their p = k*tau harmonics), then refined
+/// by the remaining keys.
+std::vector<std::string> scenario_keys();
+
+/// True when `key` is recognized by apply_overrides (sweep axes use this to
+/// fail fast before burning episodes on a typo).
+bool is_scenario_key(const std::string& key);
+
 /// Applies recognized keys from `config` onto `scenario` (unrecognized keys
-/// are returned so callers can warn).  Recognized keys:
-///   tau_ms, deadline_cap, obstacles, obstacle_region, filtered, mode
-///   (local|gating|offload|scaled), episodes-independent scenario knobs:
-///   target_speed, channel_mbps, moving_obstacles, obstacle_osc_amplitude,
-///   obstacle_osc_period, use_edge_server, server_workers, idle_w, tx_w,
-///   sensing_range, rate_gain, seed, use_lookup_table.
+/// are returned so callers can warn).  Keys are applied in scenario_keys()
+/// order regardless of file order, so `scenario`/`tau_ms` rebuilds never
+/// clobber sibling overrides.
 std::vector<std::string> apply_overrides(const KeyValueConfig& config,
                                          ScenarioConfig& scenario);
 
 /// A documented template listing every recognized key with its default —
-/// written by examples when no config file exists yet.
+/// generated from the same registry as apply_overrides, so the round-trip
+/// "every template key is recognized" holds by construction (and is locked
+/// by tests/test_scenario_io.cpp).
 std::string scenario_config_template();
 
 }  // namespace seo

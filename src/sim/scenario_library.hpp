@@ -1,0 +1,40 @@
+// Scenario library — a registry of named, documented rigs spanning the
+// workload space the ROADMAP asks for: the paper's evaluation setups plus
+// dense/moving obstacle fields, degraded channels, queueing edge servers,
+// perception ablations and fleet-style multi-pipeline rigs.
+//
+// Every entry is a pure factory over ScenarioConfig, so library scenarios
+// compose with `apply_overrides` (scenario_io) and with the sweep engine
+// (sweep.hpp): a sweep grid point = library base + axis overrides.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace seo {
+
+/// One named scenario: a base config plus documentation of what it
+/// stresses (surfaced by `sweep --list`, README and the bench tour).
+struct ScenarioEntry {
+  std::string name;     ///< stable identifier (CLI / config key `scenario`)
+  std::string summary;  ///< one line: what this rig stresses
+  ScenarioConfig (*make)();  ///< pure factory — no captured state
+};
+
+/// The full library, in presentation order.  Entries are append-only:
+/// golden-trace tests fingerprint every name listed here.
+const std::vector<ScenarioEntry>& scenario_library();
+
+/// Sorted names, for CLI help and diagnostics.
+std::vector<std::string> scenario_names();
+
+/// Entry lookup; nullptr when `name` is not in the library.
+const ScenarioEntry* find_scenario(const std::string& name);
+
+/// Builds the named scenario's config.  Throws ContractViolation (listing
+/// the valid names) when `name` is unknown.
+ScenarioConfig make_scenario(const std::string& name);
+
+}  // namespace seo

@@ -1,0 +1,163 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+
+#include "sim/scenario_io.hpp"
+#include "util/expect.hpp"
+#include "util/thread_pool.hpp"
+
+namespace seo {
+
+std::string SweepPoint::label() const {
+  std::string out = scenario;
+  for (const auto& [key, value] : assignment)
+    out += " " + key + "=" + value;
+  return out;
+}
+
+namespace {
+
+void validate(const SweepConfig& config) {
+  SEO_EXPECT(!config.scenarios.empty());
+  SEO_EXPECT(config.episodes >= 1);
+  SEO_EXPECT(config.max_attempts >= config.episodes);
+  for (const auto& name : config.scenarios)
+    make_scenario(name);  // throws with the valid names on a typo
+  for (const auto& axis : config.axes) {
+    SEO_EXPECT(!axis.values.empty());
+    if (!is_scenario_key(axis.key))
+      throw ContractViolation("unknown sweep axis key: " + axis.key);
+    if (axis.key == "scenario")
+      throw ContractViolation(
+          "sweep the scenario dimension via SweepConfig::scenarios, not an "
+          "axis");
+  }
+  for (const auto& [key, value] : config.base_overrides) {
+    (void)value;
+    if (!is_scenario_key(key))
+      throw ContractViolation("unknown sweep override key: " + key);
+    if (key == "scenario")
+      throw ContractViolation(
+          "a 'scenario' base override would silently replace every grid "
+          "point's library base while rows keep their labels; use "
+          "SweepConfig::scenarios");
+  }
+  if (config.grid == GridMode::kPaired && !config.axes.empty()) {
+    const std::size_t len = config.axes.front().values.size();
+    for (const auto& axis : config.axes)
+      if (axis.values.size() != len)
+        throw ContractViolation(
+            "paired sweep axes must share one length (axis '" + axis.key +
+            "' has " + std::to_string(axis.values.size()) + ", expected " +
+            std::to_string(len) + ")");
+  }
+}
+
+}  // namespace
+
+std::vector<SweepPoint> expand_grid(const SweepConfig& config) {
+  validate(config);
+
+  // Axis assignments first (identical for every scenario).
+  std::vector<std::vector<std::pair<std::string, std::string>>> assignments;
+  if (config.axes.empty()) {
+    assignments.push_back({});
+  } else if (config.grid == GridMode::kPaired) {
+    const std::size_t len = config.axes.front().values.size();
+    for (std::size_t i = 0; i < len; ++i) {
+      std::vector<std::pair<std::string, std::string>> a;
+      for (const auto& axis : config.axes)
+        a.emplace_back(axis.key, axis.values[i]);
+      assignments.push_back(std::move(a));
+    }
+  } else {
+    // Cartesian product, last axis fastest (odometer order).
+    assignments.push_back({});
+    for (const auto& axis : config.axes) {
+      std::vector<std::vector<std::pair<std::string, std::string>>> next;
+      next.reserve(assignments.size() * axis.values.size());
+      for (const auto& prefix : assignments) {
+        for (const auto& value : axis.values) {
+          auto a = prefix;
+          a.emplace_back(axis.key, value);
+          next.push_back(std::move(a));
+        }
+      }
+      assignments = std::move(next);
+    }
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(config.scenarios.size() * assignments.size());
+  for (const auto& scenario : config.scenarios) {
+    for (const auto& assignment : assignments) {
+      SweepPoint p;
+      p.index = points.size();
+      p.scenario = scenario;
+      p.assignment = assignment;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+SweepConfig smoke_sweep() {
+  SweepConfig config;
+  config.scenarios = {"paper_default", "dense_field", "lossy_channel",
+                      "unfiltered_baseline"};
+  config.axes = {{"channel_mbps", {"8", "20"}},
+                 {"deadline_cap", {"2", "4"}}};
+  // Short route + small lookup table keep the 16-point grid fast enough
+  // for CI and unit tests while still exercising the full stack.
+  config.base_overrides = {{"road_length", "45"},
+                           {"max_episode_s", "12"},
+                           {"table_distance_bins", "15"},
+                           {"table_bearing_bins", "9"},
+                           {"table_speed_bins", "9"}};
+  config.episodes = 2;
+  config.max_attempts = 8;
+  config.require_success = false;
+  return config;
+}
+
+ScenarioConfig resolve_point(const SweepConfig& config,
+                             const SweepPoint& point) {
+  ScenarioConfig scenario = make_scenario(point.scenario);
+  KeyValueConfig overrides;
+  for (const auto& [key, value] : config.base_overrides)
+    overrides.set(key, value);
+  for (const auto& [key, value] : point.assignment)
+    overrides.set(key, value);
+  const auto unknown = apply_overrides(overrides, scenario);
+  SEO_ASSERT(unknown.empty());  // validate() already screened the keys
+  return scenario;
+}
+
+std::vector<SweepRow> run_sweep(const SweepConfig& config) {
+  const std::vector<SweepPoint> points = expand_grid(config);
+  std::vector<SweepRow> rows(points.size());
+
+  // Each grid point is an independent shard with its own slot: shards may
+  // finish in any order, but rows are indexed by grid position and each
+  // shard's experiment is internally serial, so the assembled vector is
+  // bit-identical for every thread count.
+  const std::size_t workers = ThreadPool::resolve_threads(config.threads);
+  ThreadPool::run_capped(
+      0, points.size(), workers, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          ExperimentConfig experiment;
+          experiment.scenario = resolve_point(config, points[i]);
+          experiment.episodes = config.episodes;
+          experiment.max_attempts = config.max_attempts;
+          experiment.base_seed = config.base_seed;
+          experiment.require_success = config.require_success;
+          experiment.threads = 1;  // parallelism lives at the grid level
+          rows[i].point = points[i];
+          rows[i].scenario = experiment.scenario;
+          rows[i].result = run_experiment(experiment);
+        }
+      });
+  return rows;
+}
+
+}  // namespace seo

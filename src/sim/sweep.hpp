@@ -1,0 +1,94 @@
+// Parameter-grid sweep engine — systematic exploration of the scenario
+// space the paper samples only pointwise.  A sweep is (library scenarios) x
+// (axes over scenario_io keys), expanded cartesian or paired, with every
+// grid point running a full run_experiment shard.  Shards fan out across
+// the ThreadPool and land in index-addressed slots, so results are merged
+// in grid order and any thread count reproduces the serial sweep exactly
+// (locked down by tests/test_sweep.cpp byte-identity on the reports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/scenario_library.hpp"
+
+namespace seo {
+
+/// One swept dimension: a scenario_io key and the values it takes.
+/// Values are strings exactly as they would appear in a config file, so an
+/// axis can sweep doubles, ints, bools or enum names alike.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// How axes combine: kCartesian takes the full cross product; kPaired zips
+/// the axes element-wise (all axes must then share one length).
+enum class GridMode { kCartesian, kPaired };
+
+/// One grid point: a scenario base plus the axis assignment to overlay.
+struct SweepPoint {
+  std::size_t index = 0;     ///< position in grid order (deterministic)
+  std::string scenario;      ///< library base name
+  std::vector<std::pair<std::string, std::string>> assignment;
+
+  /// "scenario key=value key=value" — stable row label for reports.
+  std::string label() const;
+};
+
+struct SweepConfig {
+  /// Library scenario names forming the outermost grid dimension.
+  std::vector<std::string> scenarios = {"paper_default"};
+  std::vector<SweepAxis> axes;
+  GridMode grid = GridMode::kCartesian;
+
+  /// Overrides applied to every point before its axis assignment (e.g. a
+  /// shortened route for smoke grids).  Axis values win on conflicts.
+  std::vector<std::pair<std::string, std::string>> base_overrides;
+
+  // Per-point experiment shape (see ExperimentConfig).
+  int episodes = 25;
+  int max_attempts = 250;
+  std::uint64_t base_seed = 1000;
+  bool require_success = true;
+
+  /// Grid-point parallelism: 1 = serial, 0 = all hardware threads, n = up
+  /// to n shards in flight.  Each shard runs its experiment serially, so
+  /// the shard itself is deterministic and the sweep result is identical
+  /// for every thread count.
+  int threads = 1;
+};
+
+/// One completed grid point: the resolved scenario (axis overrides applied)
+/// and its experiment aggregate.
+struct SweepRow {
+  SweepPoint point;
+  ScenarioConfig scenario;
+  ExperimentResult result;
+};
+
+/// Expands the grid in deterministic order: scenarios outermost, then axes
+/// left to right (cartesian) or zipped (paired).  Throws ContractViolation
+/// on unknown scenario names, unrecognized axis keys, empty axes, or
+/// mismatched paired lengths.
+std::vector<SweepPoint> expand_grid(const SweepConfig& config);
+
+/// Resolves one point's full ScenarioConfig (library base + base_overrides
+/// + axis assignment, applied via scenario_io).
+ScenarioConfig resolve_point(const SweepConfig& config,
+                             const SweepPoint& point);
+
+/// Runs every grid point and returns rows in grid order.  Deterministic
+/// for a fixed config, independent of `config.threads`.
+std::vector<SweepRow> run_sweep(const SweepConfig& config);
+
+/// The CI smoke grid: 4 library scenarios x (2 channel scales x 2 deadline
+/// caps) on a shortened route — 16 points that finish in seconds.  Shared
+/// by `sweep --smoke` and the byte-identity tests so the grid CI compares
+/// is exactly the grid the tests lock down.
+SweepConfig smoke_sweep();
+
+}  // namespace seo

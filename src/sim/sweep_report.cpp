@@ -1,0 +1,141 @@
+#include "sim/sweep_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "util/expect.hpp"
+
+namespace seo {
+
+namespace {
+
+/// One canonical number formatter for every report: the shortest decimal
+/// that parses back to exactly `v`, so reports are readable, byte-stable,
+/// and lossless for downstream trend tracking.
+std::string fmt(double v) {
+  char buf[40];
+  for (const int precision : {6, 10, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> sweep_metric_names() {
+  return {
+      "episodes_used",   "attempts",        "failures",
+      "collisions",      "off_roads",       "timeouts",
+      "intervals",       "mean_delta_max",  "avg_speed",
+      "duration_s",      "min_h",           "filter_engagements",
+      "offload_submitted", "offload_applied", "offload_fallbacks",
+      "energy_actual_j", "energy_baseline_j", "energy_gain",
+  };
+}
+
+std::vector<double> sweep_metrics(const SweepRow& row) {
+  const ExperimentResult& r = row.result;
+  std::uint64_t submitted = 0, applied = 0, fallbacks = 0;
+  for (const auto& p : r.pipelines) {
+    submitted += p.offload_submitted;
+    applied += p.offload_applied;
+    fallbacks += p.offload_fallbacks;
+  }
+  const EnergyComparison energy =
+      r.combined_model_energy(row.scenario.platform);
+  return {
+      static_cast<double>(r.episodes_used),
+      static_cast<double>(r.attempts),
+      static_cast<double>(r.failures),
+      static_cast<double>(r.collisions),
+      static_cast<double>(r.off_roads),
+      static_cast<double>(r.timeouts),
+      static_cast<double>(r.intervals),
+      r.mean_delta_max(),
+      r.avg_speed.mean(),
+      r.duration_s.mean(),
+      r.min_h.empty() ? 0.0 : r.min_h.mean(),
+      static_cast<double>(r.filter_engagements),
+      static_cast<double>(submitted),
+      static_cast<double>(applied),
+      static_cast<double>(fallbacks),
+      energy.actual_j,
+      energy.baseline_j,
+      energy.gain(),
+  };
+}
+
+std::string sweep_csv(const SweepConfig& config,
+                      const std::vector<SweepRow>& rows) {
+  std::string out = "scenario";
+  for (const auto& axis : config.axes) out += "," + axis.key;
+  for (const auto& name : sweep_metric_names()) out += "," + name;
+  out += "\n";
+
+  for (const auto& row : rows) {
+    out += row.point.scenario;
+    // Axis values in config.axes order — assignment order matches for both
+    // cartesian and paired expansion.
+    SEO_ASSERT(row.point.assignment.size() == config.axes.size());
+    for (std::size_t a = 0; a < config.axes.size(); ++a) {
+      SEO_ASSERT(row.point.assignment[a].first == config.axes[a].key);
+      out += "," + row.point.assignment[a].second;
+    }
+    for (const double v : sweep_metrics(row)) out += "," + fmt(v);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string sweep_json(const SweepConfig& config,
+                       const std::vector<SweepRow>& rows) {
+  std::ostringstream out;
+  out << "{\n  \"sweep\": {\n"
+      << "    \"episodes\": " << config.episodes << ",\n"
+      << "    \"base_seed\": " << config.base_seed << ",\n"
+      << "    \"grid\": \""
+      << (config.grid == GridMode::kCartesian ? "cartesian" : "paired")
+      << "\",\n    \"points\": " << rows.size() << "\n  },\n"
+      << "  \"rows\": {";
+  const auto metrics = sweep_metric_names();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto values = sweep_metrics(rows[i]);
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << json_escape(rows[i].point.label()) << "\": {\n";
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      out << "      \"" << metrics[m] << "\": " << fmt(values[m])
+          << (m + 1 < metrics.size() ? "," : "") << "\n";
+    }
+    out << "    }";
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+void write_sweep_report(std::ostream& out, const std::string& format,
+                        const SweepConfig& config,
+                        const std::vector<SweepRow>& rows) {
+  if (format == "csv") {
+    out << sweep_csv(config, rows);
+  } else if (format == "json") {
+    out << sweep_json(config, rows);
+  } else {
+    throw ContractViolation("unknown sweep report format: " + format +
+                            " (csv|json)");
+  }
+}
+
+}  // namespace seo

@@ -1,0 +1,184 @@
+// Sweep engine tests: grid expansion semantics, axis validation, and the
+// acceptance-criterion determinism lock — a >= 12-point grid over >= 4
+// library scenarios whose threaded CSV and JSON reports are byte-identical
+// to the serial (--threads 1) run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "sim/sweep_report.hpp"
+#include "util/expect.hpp"
+
+namespace seo {
+namespace {
+
+// The shared CI smoke grid (also behind `sweep --smoke`): locking the
+// byte-identity property on this exact config means CI's serial/threaded
+// cmp step and this suite can never drift apart.
+SweepConfig short_sweep() { return smoke_sweep(); }
+
+// --- Grid expansion ---------------------------------------------------------
+
+TEST(SweepGrid, CartesianExpansionIsOdometerOrdered) {
+  SweepConfig config;
+  config.scenarios = {"paper_default", "dense_field"};
+  config.axes = {{"channel_mbps", {"5", "10"}}, {"deadline_cap", {"2", "3", "4"}}};
+  const auto points = expand_grid(config);
+  ASSERT_EQ(points.size(), 2u * 2u * 3u);
+  EXPECT_EQ(points[0].label(), "paper_default channel_mbps=5 deadline_cap=2");
+  EXPECT_EQ(points[1].label(), "paper_default channel_mbps=5 deadline_cap=3");
+  EXPECT_EQ(points[3].label(), "paper_default channel_mbps=10 deadline_cap=2");
+  EXPECT_EQ(points[6].label(), "dense_field channel_mbps=5 deadline_cap=2");
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].index, i);
+}
+
+TEST(SweepGrid, PairedExpansionZipsAxes) {
+  SweepConfig config;
+  config.grid = GridMode::kPaired;
+  config.axes = {{"channel_mbps", {"5", "10", "20"}},
+                 {"tx_w", {"1.0", "1.3", "1.6"}}};
+  const auto points = expand_grid(config);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[1].label(), "paper_default channel_mbps=10 tx_w=1.3");
+}
+
+TEST(SweepGrid, NoAxesMeansOnePointPerScenario) {
+  SweepConfig config;
+  config.scenarios = {"paper_default", "fleet_rig", "heavy_vehicle"};
+  EXPECT_EQ(expand_grid(config).size(), 3u);
+}
+
+TEST(SweepGrid, ValidationRejectsBadConfigs) {
+  {
+    SweepConfig config;
+    config.scenarios = {"no_such_rig"};
+    EXPECT_THROW(expand_grid(config), ContractViolation);
+  }
+  {
+    SweepConfig config;
+    config.axes = {{"not_a_key", {"1"}}};
+    EXPECT_THROW(expand_grid(config), ContractViolation);
+  }
+  {
+    SweepConfig config;
+    config.axes = {{"scenario", {"paper_default"}}};
+    EXPECT_THROW(expand_grid(config), ContractViolation);
+  }
+  {
+    SweepConfig config;
+    config.grid = GridMode::kPaired;
+    config.axes = {{"channel_mbps", {"5", "10"}}, {"tx_w", {"1.0"}}};
+    EXPECT_THROW(expand_grid(config), ContractViolation);
+  }
+  {
+    SweepConfig config;
+    config.base_overrides = {{"bogus_override", "1"}};
+    EXPECT_THROW(expand_grid(config), ContractViolation);
+  }
+  {
+    // A 'scenario' base override would retarget every point while rows
+    // keep their labels — must be rejected like the axis case.
+    SweepConfig config;
+    config.base_overrides = {{"scenario", "lossy_channel"}};
+    EXPECT_THROW(expand_grid(config), ContractViolation);
+  }
+  {
+    SweepConfig config;
+    config.axes = {{"channel_mbps", {}}};
+    EXPECT_THROW(expand_grid(config), ContractViolation);
+  }
+}
+
+TEST(SweepGrid, ResolvePointLayersBaseThenAxes) {
+  SweepConfig config;
+  config.scenarios = {"dense_field"};
+  config.base_overrides = {{"obstacles", "4"}, {"road_length", "70"}};
+  config.axes = {{"obstacles", {"6"}}};
+  const auto points = expand_grid(config);
+  ASSERT_EQ(points.size(), 1u);
+  const ScenarioConfig resolved = resolve_point(config, points[0]);
+  EXPECT_EQ(resolved.obstacle_count, 6);      // axis beats base override
+  EXPECT_EQ(resolved.road.length, 70.0);      // base override beats library
+  EXPECT_EQ(resolved.obstacle_region, 0.6);   // library base preserved
+}
+
+// --- Determinism: the acceptance criterion ---------------------------------
+
+TEST(SweepDeterminism, ThreadedReportsByteIdenticalToSerial) {
+  SweepConfig serial = short_sweep();
+  serial.threads = 1;
+  const auto serial_rows = run_sweep(serial);
+  // The acceptance grid: >= 12 points over >= 4 library scenarios.
+  ASSERT_GE(serial_rows.size(), 12u);
+  ASSERT_GE(serial.scenarios.size(), 4u);
+
+  const std::string serial_csv = sweep_csv(serial, serial_rows);
+  const std::string serial_json = sweep_json(serial, serial_rows);
+
+  for (const int threads : {2, 0}) {
+    SweepConfig threaded = short_sweep();
+    threaded.threads = threads;
+    const auto rows = run_sweep(threaded);
+    EXPECT_EQ(sweep_csv(threaded, rows), serial_csv)
+        << "CSV diverged at threads=" << threads;
+    EXPECT_EQ(sweep_json(threaded, rows), serial_json)
+        << "JSON diverged at threads=" << threads;
+  }
+}
+
+TEST(SweepDeterminism, RowsCarrySignalNotZeros) {
+  SweepConfig config = short_sweep();
+  config.threads = 0;
+  const auto rows = run_sweep(config);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.result.attempts, config.episodes) << row.point.label();
+    EXPECT_GT(row.result.intervals, 0u) << row.point.label();
+  }
+  // The grid must actually vary behaviour across points: a sweep where
+  // every row is identical would be vacuous.
+  bool any_diff = false;
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    any_diff |= sweep_metrics(rows[i]) != sweep_metrics(rows[0]);
+  EXPECT_TRUE(any_diff);
+}
+
+// --- Report rendering -------------------------------------------------------
+
+TEST(SweepReport, CsvShapeMatchesGrid) {
+  SweepConfig config = short_sweep();
+  config.threads = 0;
+  const auto rows = run_sweep(config);
+  const std::string csv = sweep_csv(config, rows);
+
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : csv) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  ASSERT_EQ(lines.size(), rows.size() + 1);  // header + one line per point
+  EXPECT_EQ(lines[0].substr(0, 31), "scenario,channel_mbps,deadline_");
+  const auto columns = [](const std::string& line) {
+    return 1 + static_cast<int>(std::count(line.begin(), line.end(), ','));
+  };
+  const int expected = 1 + 2 + static_cast<int>(sweep_metric_names().size());
+  for (const auto& line : lines) EXPECT_EQ(columns(line), expected);
+}
+
+TEST(SweepReport, UnknownFormatThrows) {
+  SweepConfig config;
+  std::ostringstream out;
+  EXPECT_THROW(write_sweep_report(out, "yaml", config, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace seo

@@ -1,0 +1,197 @@
+// `sweep` — the scenario-library grid runner.
+//
+//   sweep --list
+//   sweep --scenarios paper_default,dense_field \
+//         --axis channel_mbps=5,10,20 --axis deadline_cap=2,4 \
+//         --episodes 25 --threads 0 --format csv --output sweep.csv
+//   sweep --smoke        # CI-sized 2x2 grid over 4 scenarios
+//
+// Every grid point = library scenario + axis overrides, run through the
+// full experiment harness.  Output (csv|json) is identical for every
+// --threads value; see tests/test_sweep.cpp.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario_io.hpp"
+#include "sim/sweep.hpp"
+#include "sim/sweep_report.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace seo;
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+int usage(int code) {
+  std::ostream& out = code == 0 ? std::cout : std::cerr;
+  out << "usage: sweep [options]\n"
+         "  --list                 print the scenario library and exit\n"
+         "  --keys                 print every sweepable key and exit\n"
+         "  --scenarios a,b,...    library scenarios to sweep "
+         "(default: paper_default)\n"
+         "  --axis key=v1,v2,...   add a grid axis over a scenario_io key\n"
+         "                         (repeatable; cartesian by default)\n"
+         "  --paired               zip the axes instead of crossing them\n"
+         "  --set key=value        base override applied to every point "
+         "(repeatable)\n"
+         "  --episodes N           successful episodes per point "
+         "(default 25)\n"
+         "  --max-attempts N       attempt budget per point (default 250)\n"
+         "  --seed N               base seed (default 1000)\n"
+         "  --allow-failures       aggregate failed episodes too\n"
+         "  --threads N            grid shards in flight (1 serial, 0 all "
+         "cores; default 0)\n"
+         "  --format csv|json      report format (default csv)\n"
+         "  --output PATH          write the report to PATH (default "
+         "stdout)\n"
+         "  --smoke                CI preset: 2x2 grid over 4 scenarios on "
+         "a short route\n"
+         "                         (a seed config: later flags refine it, "
+         "--axis replaces its grid)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepConfig config;
+  config.threads = 0;
+  std::string format = "csv";
+  std::string output;
+
+  // --smoke is a preset, not a terminal mode: it seeds the config before
+  // the other flags are parsed, so `--smoke --episodes 10` refines the
+  // preset instead of being silently discarded.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  if (smoke) {
+    config = smoke_sweep();
+    config.threads = 0;
+  }
+  bool user_axes = false;  // the first user --axis replaces preset axes
+
+  const auto next_arg = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      std::exit(usage(2));
+    }
+    return argv[++i];
+  };
+  const auto next_int = [&](int& i) -> long long {
+    const std::string flag = argv[i];
+    const std::string text = next_arg(i);
+    try {
+      std::size_t consumed = 0;
+      const long long v = std::stoll(text, &consumed);
+      if (consumed == text.size()) return v;
+    } catch (const std::exception&) {
+    }
+    std::cerr << flag << " expects an integer, got '" << text << "'\n";
+    std::exit(usage(2));
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--list") {
+      for (const auto& entry : scenario_library())
+        std::cout << entry.name << "\n    " << entry.summary << "\n";
+      return 0;
+    }
+    if (arg == "--keys") {
+      for (const auto& key : scenario_keys()) std::cout << key << "\n";
+      return 0;
+    }
+    if (arg == "--scenarios") {
+      config.scenarios = split(next_arg(i), ',');
+    } else if (arg == "--axis") {
+      const std::string spec = next_arg(i);
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--axis expects key=v1,v2,...\n";
+        return usage(2);
+      }
+      SweepAxis axis;
+      axis.key = spec.substr(0, eq);
+      axis.values = split(spec.substr(eq + 1), ',');
+      if (smoke && !user_axes) config.axes.clear();  // user grid wins
+      user_axes = true;
+      config.axes.push_back(std::move(axis));
+    } else if (arg == "--paired") {
+      config.grid = GridMode::kPaired;
+    } else if (arg == "--set") {
+      const std::string spec = next_arg(i);
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--set expects key=value\n";
+        return usage(2);
+      }
+      config.base_overrides.emplace_back(spec.substr(0, eq),
+                                         spec.substr(eq + 1));
+    } else if (arg == "--episodes") {
+      config.episodes = static_cast<int>(next_int(i));
+    } else if (arg == "--max-attempts") {
+      config.max_attempts = static_cast<int>(next_int(i));
+    } else if (arg == "--seed") {
+      const long long seed = next_int(i);
+      if (seed < 0) {
+        std::cerr << "--seed must be non-negative\n";
+        return usage(2);
+      }
+      config.base_seed = static_cast<std::uint64_t>(seed);
+    } else if (arg == "--allow-failures") {
+      config.require_success = false;
+    } else if (arg == "--threads") {
+      config.threads = static_cast<int>(next_int(i));
+    } else if (arg == "--format") {
+      format = next_arg(i);
+    } else if (arg == "--output") {
+      output = next_arg(i);
+    } else if (arg == "--smoke") {
+      // Handled by the pre-scan above.
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(2);
+    }
+  }
+
+  try {
+    const std::vector<SweepRow> rows = run_sweep(config);
+    std::ostringstream report;
+    seo::write_sweep_report(report, format, config, rows);
+    if (output.empty()) {
+      std::cout << report.str();
+    } else {
+      std::ofstream out(output);
+      if (!out) {
+        std::cerr << "cannot open " << output << " for writing\n";
+        return 1;
+      }
+      out << report.str();
+      std::cerr << "wrote " << rows.size() << " grid points to " << output
+                << "\n";
+    }
+  } catch (const seo::ContractViolation& e) {
+    std::cerr << "sweep configuration error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
