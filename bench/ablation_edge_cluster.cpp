@@ -1,0 +1,105 @@
+// Ablation A9: edge-cluster scale — dispatch policy, batching and
+// contention under fleet load.
+//
+// The fleet experiment replays every vehicle's offload stream through a
+// shared cluster.  Scarce servers push queueing delays past the freshness
+// bound (deadline misses); batching trades per-request latency for
+// throughput; the deadline-aware policy protects urgent requests when the
+// rack saturates.
+#include "common.hpp"
+
+#include "sim/fleet_experiment.hpp"
+#include "sim/scenario_library.hpp"
+
+int main() {
+  using namespace seo;
+  bench::print_banner(
+      "ablation_edge_cluster", "extends paper V-A to fleet scale",
+      "fleet_cluster rig (6 vehicles, offload mode); cluster size, dispatch "
+      "policy and batch window swept");
+
+  TextTable table("Fleet offloading vs. cluster configuration");
+  table.set_header({"servers", "dispatch", "window [ms]", "miss rate",
+                    "mean resp [ms]", "mean batch", "util", "shed"});
+
+  struct ClusterCase {
+    int servers;
+    DispatchPolicy dispatch;
+    double window_ms;
+  };
+  const ClusterCase cases[] = {
+      {4, DispatchPolicy::kLeastLoaded, 0.0},
+      {4, DispatchPolicy::kLeastLoaded, 4.0},
+      {4, DispatchPolicy::kRoundRobin, 4.0},
+      {2, DispatchPolicy::kLeastLoaded, 4.0},
+      {2, DispatchPolicy::kEarliestSlack, 4.0},
+      {1, DispatchPolicy::kLeastLoaded, 4.0},
+      {1, DispatchPolicy::kEarliestSlack, 8.0},
+  };
+
+  for (const auto& cc : cases) {
+    FleetExperimentConfig config;
+    config.scenario = make_scenario("fleet_cluster");
+    config.scenario.cluster.servers = cc.servers;
+    config.scenario.cluster.dispatch = cc.dispatch;
+    config.scenario.cluster.batch_window_s = cc.window_ms * 1e-3;
+    config.rounds = 3;
+    config.base_seed = bench::kBaseSeed;
+    config.threads = bench::experiment_threads();
+    const FleetResult r = run_fleet_experiment(config);
+
+    table.add_row({
+        std::to_string(cc.servers),
+        to_string(cc.dispatch),
+        fmt_double(cc.window_ms, 0),
+        fmt_percent(r.miss_rate()),
+        fmt_double(r.response_s.empty() ? 0.0 : r.response_s.mean() * 1e3, 2),
+        fmt_double(r.cluster.mean_batch_size(), 2),
+        fmt_percent(r.cluster.utilization()),
+        std::to_string(r.shed()),
+    });
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Expected: the default rig is channel-limited — batching "
+               "trades ~6 ms of window\nwait for fewer, larger inferences; "
+               "cluster size barely moves the miss rate.\n\n";
+
+  // The saturated rig flips the bottleneck to the rack: 10 vehicles on few
+  // slow single-worker servers, where dispatch policy and capacity decide
+  // who queues, who sheds and who misses.
+  TextTable saturated("Saturated rack (fleet_cluster_saturated, 10 vehicles)");
+  saturated.set_header({"servers", "dispatch", "miss rate", "mean resp [ms]",
+                        "max delay [ms]", "util", "shed"});
+  const ClusterCase rack_cases[] = {
+      {2, DispatchPolicy::kRoundRobin, 8.0},
+      {2, DispatchPolicy::kLeastLoaded, 8.0},
+      {2, DispatchPolicy::kEarliestSlack, 8.0},
+      {4, DispatchPolicy::kLeastLoaded, 8.0},
+      {6, DispatchPolicy::kLeastLoaded, 8.0},
+  };
+  for (const auto& cc : rack_cases) {
+    FleetExperimentConfig config;
+    config.scenario = make_scenario("fleet_cluster_saturated");
+    config.scenario.cluster.servers = cc.servers;
+    config.scenario.cluster.dispatch = cc.dispatch;
+    config.scenario.cluster.batch_window_s = cc.window_ms * 1e-3;
+    config.rounds = 2;
+    config.base_seed = bench::kBaseSeed;
+    config.threads = bench::experiment_threads();
+    const FleetResult r = run_fleet_experiment(config);
+    saturated.add_row({
+        std::to_string(cc.servers),
+        to_string(cc.dispatch),
+        fmt_percent(r.miss_rate()),
+        fmt_double(r.response_s.empty() ? 0.0 : r.response_s.mean() * 1e3, 2),
+        fmt_double(r.cluster.max_queue_delay_s * 1e3, 2),
+        fmt_percent(r.cluster.utilization()),
+        std::to_string(r.shed()),
+    });
+  }
+  std::cout << saturated.render() << "\n";
+  std::cout << "Expected: misses and shedding collapse as servers are added; "
+               "at 2 servers the\ndeadline-aware policy trades a few extra "
+               "sheds for lower response times.\n";
+  return 0;
+}

@@ -77,4 +77,10 @@ bool offload_feasible(int delta_i, int delta_max, int estimate_periods,
   return ds >= 1 && estimate_periods <= ds;
 }
 
+double offload_freshness_bound_s(int deadline_cap, double tau_s) {
+  SEO_EXPECT(deadline_cap >= 1);
+  SEO_EXPECT(tau_s > 0.0);
+  return static_cast<double>(deadline_cap) * tau_s;
+}
+
 }  // namespace seo

@@ -92,4 +92,11 @@ class OffloadStrategy final : public OptimizationStrategy {
 bool offload_feasible(int delta_i, int delta_max, int estimate_periods,
                       bool unconstrained);
 
+/// Staleness bound on a remote perception result: a response is usable iff
+/// it arrives within `deadline_cap` base periods of the frame it was
+/// computed from.  One definition shared by the episode loop's
+/// `remote_fresh` hook and the fleet replay's per-request deadlines, so the
+/// two layers can never disagree about what "in time" means.
+double offload_freshness_bound_s(int deadline_cap, double tau_s);
+
 }  // namespace seo

@@ -17,6 +17,10 @@ std::optional<double> EdgeServer::submit(double arrival_time) {
   SEO_EXPECT(arrival_time >= 0.0);
   // Queue occupancy at this instant: admitted jobs that have not started.
   const std::size_t waiting = backlog(arrival_time);
+  // Strict comparison = the documented boundary tie-break: a worker whose
+  // busy interval ends exactly at arrival_time is free, matching the
+  // `start = max(busy_until, arrival)` rule below (the job then starts at
+  // arrival with zero queue delay) and backlog's strict `start > time`.
   const bool all_busy =
       std::all_of(worker_busy_until_.begin(), worker_busy_until_.end(),
                   [&](double t) { return t > arrival_time; });

@@ -26,6 +26,15 @@ struct EdgeServerParams {
 /// worker.  Admission fails (overload shedding) when, at the instant of
 /// arrival, all workers are busy and `queue_capacity` jobs are already
 /// waiting.
+///
+/// Boundary tie-break (shared with EdgeCluster, locked by tests/test_net):
+/// service intervals are half-open [start, completion).  A worker whose
+/// busy interval ends exactly at the arrival instant is therefore free —
+/// the job starts immediately with zero queue delay and consumes no queue
+/// slot — and a job starting exactly at time t is running, not queued, so
+/// backlog(t) excludes it.  Both checks use the same strict comparison, so
+/// a request landing exactly on a service-completion boundary can never be
+/// shed while a worker sits idle.
 class EdgeServer {
  public:
   explicit EdgeServer(EdgeServerParams params = {});
@@ -41,6 +50,7 @@ class EdgeServer {
   std::size_t rejected() const { return rejected_; }
 
   /// Number of jobs that would be queued (not yet started) at `time`.
+  /// A job starting exactly at `time` is running, not queued.
   std::size_t backlog(double time) const;
 
   /// Worst queueing delay (start - arrival) observed so far.

@@ -20,6 +20,9 @@ ResponseEstimator::ResponseEstimator(double prior_s, double alpha,
 
 void ResponseEstimator::observe(double response_s) {
   SEO_EXPECT(response_s > 0.0);
+  // Strictly-faster observations take the fast lane; a response exactly at
+  // the current mean counts as the slow side (documented tie-break) so
+  // batch-boundary repeats never relax the estimate.
   const double a = response_s < ewma_s_ ? alpha_down_ : alpha_;
   ewma_s_ = a * response_s + (1.0 - a) * ewma_s_;
   ++observations_;

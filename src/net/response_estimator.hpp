@@ -15,6 +15,11 @@ namespace seo {
 /// is absorbed at `alpha`, good news (faster responses) at the larger
 /// `alpha_down`, so a single deep fade does not lock the estimator into
 /// pessimism for long once probes show the channel recovered.
+///
+/// Tie-break: an observation exactly equal to the current mean is "bad
+/// news" (absorbed at `alpha`), keeping the estimator conservative when a
+/// batched server answers a run of requests at one service boundary — the
+/// estimate must not relax just because responses stopped improving.
 class ResponseEstimator {
  public:
   /// `prior_s`: initial estimate (e.g. frame_bits/mean_rate + server time).

@@ -15,6 +15,7 @@
 #include "dynamics/obstacle.hpp"
 #include "dynamics/road.hpp"
 #include "energy/power_model.hpp"
+#include "net/edge_cluster.hpp"
 #include "net/offload_link.hpp"
 #include "safety/deadline_table.hpp"
 #include "safety/safe_interval.hpp"
@@ -34,6 +35,22 @@ enum class OptimizerMode {
 };
 
 const char* to_string(OptimizerMode mode);
+
+/// Fleet-level shape of a scenario: how many vehicles share the edge
+/// cluster and how their uplink streams interact on the shared channel
+/// (consumed by run_fleet_experiment; a plain single-vehicle experiment
+/// ignores these fields).
+struct FleetParams {
+  int vehicles = 4;
+  /// Vehicle v's episode clock is shifted by v * stagger_s in the shared
+  /// timeline, modeling desynchronized ignition/boot times.  0 means every
+  /// vehicle's base periods align — the worst case for burst arrivals.
+  double stagger_s = 0.0;
+  /// Shared-channel contention: an uplink that starts while c others are in
+  /// flight transmits at rate / (1 + contention_alpha * c).  0 disables
+  /// contention (orthogonal channels).
+  double contention_alpha = 0.0;
+};
 
 struct ScenarioConfig {
   // Timing (paper: tau = 20 ms default, 25 ms for Table I).
@@ -83,6 +100,10 @@ struct ScenarioConfig {
   bool use_edge_server = false;
   EdgeServerParams edge_server{};
   PlatformPowerModel platform{};
+
+  // Fleet / edge-cluster shape (run_fleet_experiment; see fleet_experiment.hpp).
+  FleetParams fleet{};
+  EdgeClusterParams cluster{};
 
   // Pipelines (Lambda = Lambda' + Lambda'').
   std::vector<PipelineConfig> pipelines;

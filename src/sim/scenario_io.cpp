@@ -348,6 +348,76 @@ const std::vector<KeyDef>& key_registry() {
           return fmt_value(static_cast<int>(s.edge_server.queue_capacity));
         }});
 
+    k.push_back(integer("Fleet / edge cluster (run_fleet_experiment, tools/fleet)",
+                        "fleet.vehicles",
+                        [](ScenarioConfig& s) -> int& { return s.fleet.vehicles; },
+                        "vehicles sharing the cluster"));
+    k.push_back(KeyDef{
+        nullptr, "fleet.stagger_ms", "per-vehicle clock offset [ms]",
+        [](const KeyValueConfig& c, ScenarioConfig& s) {
+          if (c.contains("fleet.stagger_ms"))
+            s.fleet.stagger_s = c.get_double("fleet.stagger_ms", 0.0) * 1e-3;
+        },
+        [](const ScenarioConfig& s) {
+          return fmt_value(s.fleet.stagger_s * 1e3);
+        }});
+    k.push_back(dbl(nullptr, "fleet.contention_alpha",
+                    [](ScenarioConfig& s) -> double& { return s.fleet.contention_alpha; },
+                    "uplink rate divisor per concurrent uplink"));
+    k.push_back(integer(nullptr, "cluster.servers",
+                        [](ScenarioConfig& s) -> int& { return s.cluster.servers; },
+                        "edge servers behind the dispatcher"));
+    k.push_back(KeyDef{
+        nullptr, "cluster.dispatch", "round_robin | least_loaded | earliest_slack",
+        [](const KeyValueConfig& c, ScenarioConfig& s) {
+          if (c.contains("cluster.dispatch"))
+            s.cluster.dispatch =
+                dispatch_policy_from_string(c.get_string("cluster.dispatch"));
+        },
+        [](const ScenarioConfig& s) {
+          return std::string(to_string(s.cluster.dispatch));
+        }});
+    k.push_back(KeyDef{
+        nullptr, "cluster.batch_window_ms", "dispatcher batch window [ms] (0 = none)",
+        [](const KeyValueConfig& c, ScenarioConfig& s) {
+          if (c.contains("cluster.batch_window_ms"))
+            s.cluster.batch_window_s =
+                c.get_double("cluster.batch_window_ms", 0.0) * 1e-3;
+        },
+        [](const ScenarioConfig& s) {
+          return fmt_value(s.cluster.batch_window_s * 1e3);
+        }});
+    k.push_back(integer(nullptr, "cluster.max_batch",
+                        [](ScenarioConfig& s) -> int& { return s.cluster.max_batch; },
+                        "largest batched inference (FIFO flushes early)"));
+    k.push_back(dbl(nullptr, "cluster.batch_cost",
+                    [](ScenarioConfig& s) -> double& { return s.cluster.batch_marginal_cost; },
+                    "marginal service cost per extra batched request"));
+    k.push_back(integer(nullptr, "cluster.workers",
+                        [](ScenarioConfig& s) -> int& { return s.cluster.server.parallelism; },
+                        "inference workers per cluster server"));
+    k.push_back(KeyDef{
+        nullptr, "cluster.service_ms", "per-inference service time [ms]",
+        [](const KeyValueConfig& c, ScenarioConfig& s) {
+          if (c.contains("cluster.service_ms"))
+            s.cluster.server.service_time_s =
+                c.get_double("cluster.service_ms", 0.0) * 1e-3;
+        },
+        [](const ScenarioConfig& s) {
+          return fmt_value(s.cluster.server.service_time_s * 1e3);
+        }});
+    k.push_back(KeyDef{
+        nullptr, "cluster.queue", "pending batches per cluster server",
+        [](const KeyValueConfig& c, ScenarioConfig& s) {
+          if (!c.contains("cluster.queue")) return;
+          const int q = c.get_int("cluster.queue", 0);
+          SEO_EXPECT(q >= 0);
+          s.cluster.server.queue_capacity = static_cast<std::size_t>(q);
+        },
+        [](const ScenarioConfig& s) {
+          return fmt_value(static_cast<int>(s.cluster.server.queue_capacity));
+        }});
+
     k.push_back(dbl("Platform", "idle_w",
                     [](ScenarioConfig& s) -> double& { return s.platform.idle_w; },
                     "accelerator clock-gated idle power [W]"));

@@ -116,6 +116,43 @@ ScenarioConfig fleet_rig() {
   return c;
 }
 
+ScenarioConfig fleet_cluster() {
+  ScenarioConfig c = default_scenario(0.02);
+  c.mode = OptimizerMode::kOffload;
+  c.channel_scale_mbps = 24.0;     // healthy radio: cluster effects dominate
+  c.fleet.vehicles = 6;
+  c.fleet.stagger_s = 0.003;       // desynchronized ignition: smeared bursts
+  c.fleet.contention_alpha = 0.1;  // near the channel's stability knee
+  c.cluster.servers = 4;
+  c.cluster.dispatch = DispatchPolicy::kLeastLoaded;
+  c.cluster.batch_window_s = 0.004;
+  c.cluster.max_batch = 4;
+  c.cluster.server.parallelism = 2;
+  c.cluster.server.service_time_s = 0.006;
+  c.cluster.server.queue_capacity = 16;
+  return c;
+}
+
+ScenarioConfig fleet_cluster_saturated() {
+  ScenarioConfig c = default_scenario(0.02);
+  c.mode = OptimizerMode::kOffload;
+  c.channel_scale_mbps = 18.0;
+  c.fleet.vehicles = 10;
+  c.fleet.stagger_s = 0.0;         // aligned clocks: worst-case bursts
+  // Light enough contention that the channel stays stable: the *rack* is
+  // the bottleneck here (10 vehicles on 2 slow servers), so queueing,
+  // shedding and the dispatch policies carry the regime.
+  c.fleet.contention_alpha = 0.08;
+  c.cluster.servers = 2;           // half the rack for 10 vehicles
+  c.cluster.dispatch = DispatchPolicy::kEarliestSlack;
+  c.cluster.batch_window_s = 0.008;
+  c.cluster.max_batch = 8;
+  c.cluster.server.parallelism = 1;
+  c.cluster.server.service_time_s = 0.009;
+  c.cluster.server.queue_capacity = 6;  // shedding is part of the regime
+  return c;
+}
+
 ScenarioConfig night_perception() {
   ScenarioConfig c = default_scenario(0.02);
   c.detector.max_range = 25.0;       // headlight-limited sensing
@@ -167,6 +204,12 @@ const std::vector<ScenarioEntry>& library_storage() {
       {"night_perception",
        "short-range noisy detector with dropouts: late, unreliable threats",
        &night_perception},
+      {"fleet_cluster",
+       "6 vehicles on a 4-server batched cluster: dispatch-policy rig",
+       &fleet_cluster},
+      {"fleet_cluster_saturated",
+       "10 vehicles on 2 slow servers: contention, queueing and shedding",
+       &fleet_cluster_saturated},
   };
   return entries;
 }

@@ -164,7 +164,7 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
       return pipe.latest.valid &&
              pipe.last_remote_arrival >= interval_start_time &&
              (now - pipe.latest.frame_time) <=
-                 static_cast<double>(config.deadline_cap) * config.tau_s;
+                 offload_freshness_bound_s(config.deadline_cap, config.tau_s);
     };
   }
   SeoRuntime runtime(
@@ -236,6 +236,13 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
           pending.emplace(tx.id, PendingResponse{std::move(frame_result)});
           ++pipe.result.offload_submitted;
           runtime.add_probe_energy(k, tx.tx_time_s * config.link.tx_power_w);
+          if (trace != nullptr) {
+            trace->add_offload({k, now, config.offload_probe_bytes,
+                                tx.tx_time_s,
+                                now + offload_freshness_bound_s(
+                                          config.deadline_cap, config.tau_s),
+                                /*probe=*/true});
+          }
         }
       }
     }
@@ -265,6 +272,13 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
           pending.emplace(tx.id, PendingResponse{std::move(frame_result)});
           ++pipe.result.offload_submitted;
           tx_j = tx.tx_time_s * config.link.tx_power_w;
+          if (trace != nullptr) {
+            trace->add_offload({directive.pipeline, now,
+                                pipe.config.sensor.frame_bytes, tx.tx_time_s,
+                                now + offload_freshness_bound_s(
+                                          config.deadline_cap, config.tau_s),
+                                /*probe=*/false});
+          }
           break;
         }
       }

@@ -9,12 +9,7 @@
 
 namespace seo {
 
-namespace {
-
-/// One canonical number formatter for every report: the shortest decimal
-/// that parses back to exactly `v`, so reports are readable, byte-stable,
-/// and lossless for downstream trend tracking.
-std::string fmt(double v) {
+std::string report_fmt(double v) {
   char buf[40];
   for (const int precision : {6, 10, 17}) {
     std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
@@ -23,7 +18,7 @@ std::string fmt(double v) {
   return buf;
 }
 
-std::string json_escape(const std::string& s) {
+std::string report_json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (const char c : s) {
@@ -32,8 +27,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::vector<std::string> sweep_metric_names() {
   return {
@@ -94,7 +87,7 @@ std::string sweep_csv(const SweepConfig& config,
       SEO_ASSERT(row.point.assignment[a].first == config.axes[a].key);
       out += "," + row.point.assignment[a].second;
     }
-    for (const double v : sweep_metrics(row)) out += "," + fmt(v);
+    for (const double v : sweep_metrics(row)) out += "," + report_fmt(v);
     out += "\n";
   }
   return out;
@@ -114,9 +107,9 @@ std::string sweep_json(const SweepConfig& config,
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto values = sweep_metrics(rows[i]);
     out << (i == 0 ? "\n" : ",\n");
-    out << "    \"" << json_escape(rows[i].point.label()) << "\": {\n";
+    out << "    \"" << report_json_escape(rows[i].point.label()) << "\": {\n";
     for (std::size_t m = 0; m < metrics.size(); ++m) {
-      out << "      \"" << metrics[m] << "\": " << fmt(values[m])
+      out << "      \"" << metrics[m] << "\": " << report_fmt(values[m])
           << (m + 1 < metrics.size() ? "," : "") << "\n";
     }
     out << "    }";

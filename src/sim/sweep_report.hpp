@@ -16,6 +16,16 @@
 
 namespace seo {
 
+/// The canonical report number formatter: the shortest decimal that parses
+/// back to exactly `v`, so reports are readable, byte-stable, and lossless
+/// for downstream trend tracking.  Shared by the sweep and fleet reports.
+std::string report_fmt(double v);
+
+/// Escapes `"` and `\` for embedding in a JSON string literal (row labels
+/// are plain scenario/key text, so nothing else needs escaping).  Shared
+/// by every report emitter so the escaping rules cannot diverge.
+std::string report_json_escape(const std::string& s);
+
 /// Column order of the scalar metrics every report row carries.
 std::vector<std::string> sweep_metric_names();
 

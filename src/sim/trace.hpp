@@ -26,14 +26,41 @@ struct TraceSample {
   double detection_age_s = 0.0; ///< staleness of the freshest Theta' entry
 };
 
+/// One offload uplink the episode transmitted (full frame or probe).
+/// Recorded at submit time with the *uncontended* channel draw, so a fleet
+/// replay can re-time the same transmissions under shared-channel
+/// contention and cluster queueing (see sim/fleet_experiment.hpp).
+struct OffloadEvent {
+  std::size_t pipeline = 0;
+  double submit_s = 0.0;     ///< uplink start (episode clock)
+  double bytes = 0.0;        ///< payload size
+  double tx_time_s = 0.0;    ///< uncontended uplink duration actually drawn
+  double deadline_s = 0.0;   ///< absolute freshness deadline of the result
+  bool probe = false;        ///< channel probe (load, but no deadline stake)
+};
+
 /// Growable recording of an episode; attach via ScenarioConfig::trace.
 class EpisodeTrace {
  public:
-  void add(const TraceSample& sample) { samples_.push_back(sample); }
-  void clear() { samples_.clear(); }
+  void add(const TraceSample& sample) {
+    if (capture_samples_) samples_.push_back(sample);
+  }
+  void clear() {
+    samples_.clear();
+    offloads_.clear();
+  }
   /// Pre-sizes the recording (run_episode reserves the full episode up
   /// front so tracing never reallocates mid-loop).
-  void reserve(std::size_t samples) { samples_.reserve(samples); }
+  void reserve(std::size_t samples) {
+    if (capture_samples_) samples_.reserve(samples);
+  }
+
+  /// Disables the per-period sample log (the offload log stays active) —
+  /// fleet experiments trace thousands of episodes and only need uplinks.
+  void set_capture_samples(bool capture) { capture_samples_ = capture; }
+
+  void add_offload(const OffloadEvent& event) { offloads_.push_back(event); }
+  const std::vector<OffloadEvent>& offloads() const { return offloads_; }
 
   const std::vector<TraceSample>& samples() const { return samples_; }
   std::size_t size() const { return samples_.size(); }
@@ -49,6 +76,8 @@ class EpisodeTrace {
 
  private:
   std::vector<TraceSample> samples_;
+  std::vector<OffloadEvent> offloads_;
+  bool capture_samples_ = true;
 };
 
 }  // namespace seo

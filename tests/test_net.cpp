@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "net/channel.hpp"
+#include "net/edge_server.hpp"
 #include "net/offload_link.hpp"
 #include "net/response_estimator.hpp"
 #include "util/expect.hpp"
@@ -148,6 +149,87 @@ TEST(ResponseEstimator, EwmaWeightsNewestObservation) {
   EXPECT_NEAR(est.mean_s(), 0.020, 1e-12);
   est.observe(0.040);
   EXPECT_NEAR(est.mean_s(), 0.030, 1e-12);
+}
+
+TEST(ResponseEstimator, ObservationEqualToMeanUsesSlowSideWeight) {
+  // Documented tie-break: a response exactly at the current mean is "bad
+  // news", absorbed at alpha, not alpha_down.  With a == mean the EWMA
+  // value cannot move, so the tie-break is observable through a follow-up
+  // observation: an estimator whose tie took the fast lane would behave
+  // identically here, which is why the contract is locked structurally —
+  // equal input must leave the mean bit-identical (no drift either way).
+  ResponseEstimator est(0.020, 0.25, 1.0, 0.6);
+  est.observe(0.020);
+  EXPECT_EQ(est.mean_s(), 0.020);
+  EXPECT_EQ(est.observations(), 1u);
+  // A batched server answering a run of requests at one completion
+  // boundary feeds the same value repeatedly; the estimate must not relax.
+  for (int i = 0; i < 10; ++i) est.observe(0.020);
+  EXPECT_EQ(est.mean_s(), 0.020);
+}
+
+// --- EdgeServer boundary tie-breaks ----------------------------------------
+
+TEST(EdgeServer, ArrivalExactlyAtWorkerFreeInstantStartsImmediately) {
+  EdgeServerParams params;
+  params.service_time_s = 0.010;
+  params.parallelism = 1;
+  params.queue_capacity = 0;  // no queue: admission needs a free worker
+  EdgeServer server(params);
+
+  const auto first = server.submit(0.0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(*first, 0.010);
+
+  // The worker's busy interval is [0, 0.010): a job landing exactly at the
+  // completion instant finds it free — admitted with zero queue delay even
+  // though the queue has no capacity at all.
+  const auto boundary = server.submit(0.010);
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_DOUBLE_EQ(*boundary, 0.020);
+  EXPECT_DOUBLE_EQ(server.max_queue_delay(), 0.0);
+  EXPECT_EQ(server.rejected(), 0u);
+}
+
+TEST(EdgeServer, ArrivalJustBeforeBoundaryQueuesOrSheds) {
+  EdgeServerParams params;
+  params.service_time_s = 0.010;
+  params.parallelism = 1;
+  params.queue_capacity = 0;
+  EdgeServer server(params);
+  ASSERT_TRUE(server.submit(0.0).has_value());
+
+  // Strictly inside the busy interval the worker is NOT free: with zero
+  // queue capacity the job is shed — the complement of the boundary case.
+  EXPECT_FALSE(server.submit(0.010 - 1e-9).has_value());
+  EXPECT_EQ(server.rejected(), 1u);
+}
+
+TEST(EdgeServer, BacklogExcludesJobStartingExactlyAtQueryTime) {
+  EdgeServerParams params;
+  params.service_time_s = 0.010;
+  params.parallelism = 1;
+  params.queue_capacity = 4;
+  EdgeServer server(params);
+  ASSERT_TRUE(server.submit(0.0).has_value());   // runs [0, 0.010)
+  ASSERT_TRUE(server.submit(0.001).has_value()); // starts at 0.010
+
+  // At t = 0.010 the queued job starts: it is running, not backlog.
+  EXPECT_EQ(server.backlog(0.005), 1u);
+  EXPECT_EQ(server.backlog(0.010), 0u);
+}
+
+TEST(EdgeServer, QueueDelayAccountsFromArrivalToStart) {
+  EdgeServerParams params;
+  params.service_time_s = 0.010;
+  params.parallelism = 1;
+  params.queue_capacity = 4;
+  EdgeServer server(params);
+  ASSERT_TRUE(server.submit(0.0).has_value());
+  const auto queued = server.submit(0.004);
+  ASSERT_TRUE(queued.has_value());
+  EXPECT_DOUBLE_EQ(*queued, 0.020);  // started at 0.010
+  EXPECT_DOUBLE_EQ(server.max_queue_delay(), 0.006);
 }
 
 }  // namespace

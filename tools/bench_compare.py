@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare a fresh BENCH_hotpaths.json against
+the committed baseline and fail on real_time regressions.
+
+Usage:
+    tools/bench_compare.py fresh.json baseline.json \
+        [--max-regression 0.25] [--names BM_A,BM_B,...]
+
+Compares the named hot-path benchmarks (or a built-in default set) and
+exits 1 when any of them regressed by more than --max-regression
+(fractional, e.g. 0.25 = +25% real_time).  Benchmarks missing from either
+file fail the gate too — a silently dropped benchmark is how regressions
+hide.  Improvements and small deltas are reported but never fail.
+
+Absolute timings only compare meaningfully across machines of the same
+class.  The class fingerprint is (num_cpus, mhz_per_cpu) — deliberately
+NOT host_name, which is ephemeral on CI runners and would mark every run
+cross-host.  When the fingerprints disagree, the gate widens the threshold
+by --cross-host-factor (default 4x) and says so: different hardware can
+still trip it on a catastrophic regression, but ordinary machine variance
+cannot turn the build red.  Refreshing the committed baseline from a CI
+artifact (same runner class) restores the tight gate.
+
+Both files are in the repo's BENCH_hotpaths.json shape (see
+tools/bench_to_json.py): {"benchmarks": {name: {real_time, time_unit}}}.
+"""
+import argparse
+import json
+import sys
+
+# The stable per-tick hot paths (threads-suffixed scaling entries are
+# machine-shaped, so the gate pins the serial ones).
+DEFAULT_NAMES = [
+    "BM_BarrierValue",
+    "BM_BicycleStepRk4",
+    "BM_DeadlineTableProbe",
+    "BM_LipschitzInterval",
+    "BM_MlpForwardWorkspace",
+    "BM_SafetyFilterPass",
+]
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def real_time_ns(entry: dict) -> float:
+    unit = entry.get("time_unit", "ns")
+    if unit not in UNIT_TO_NS:
+        raise ValueError(f"unknown time_unit {unit!r}")
+    return float(entry["real_time"]) * UNIT_TO_NS[unit]
+
+
+def same_machine_class(fresh_ctx: dict, baseline_ctx: dict) -> bool:
+    keys = ("num_cpus", "mhz_per_cpu")
+    return all(fresh_ctx.get(k) == baseline_ctx.get(k) for k in keys)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced BENCH_hotpaths.json")
+    parser.add_argument("baseline", help="committed baseline to compare against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fail when real_time grows by more than this "
+                             "fraction (default 0.25 = +25%%)")
+    parser.add_argument("--cross-host-factor", type=float, default=4.0,
+                        help="multiply the threshold by this when the two "
+                             "files were produced on different machines "
+                             "(default 4.0)")
+    parser.add_argument("--names", default=",".join(DEFAULT_NAMES),
+                        help="comma-separated benchmark names to gate")
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh_doc = json.load(f)
+    with open(args.baseline) as f:
+        baseline_doc = json.load(f)
+    fresh = fresh_doc["benchmarks"]
+    baseline = baseline_doc["benchmarks"]
+
+    limit = args.max_regression
+    base_ctx = baseline_doc.get("context", {})
+    fresh_ctx = fresh_doc.get("context", {})
+    if not same_machine_class(fresh_ctx, base_ctx):
+        limit = args.max_regression * args.cross_host_factor
+
+        def fingerprint(ctx):
+            return f"{ctx.get('num_cpus')}cpu@{ctx.get('mhz_per_cpu')}MHz"
+
+        print(f"note: baseline machine class ({fingerprint(base_ctx)}) != "
+              f"fresh ({fingerprint(fresh_ctx)}); absolute timings are not "
+              f"comparable at the tight threshold — gating at +{limit:.0%} "
+              f"instead of +{args.max_regression:.0%}. Refresh the baseline "
+              f"from a CI artifact (same runner class) to restore the tight "
+              f"gate.")
+
+    names = [n for n in args.names.split(",") if n]
+    failures = []
+    width = max(len(n) for n in names)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  delta")
+    for name in names:
+        if name not in baseline:
+            failures.append(f"{name}: missing from baseline")
+            print(f"{name:<{width}}  {'MISSING':>12}")
+            continue
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh results")
+            print(f"{name:<{width}}  {'':>12}  {'MISSING':>12}")
+            continue
+        base_ns = real_time_ns(baseline[name])
+        fresh_ns = real_time_ns(fresh[name])
+        delta = fresh_ns / base_ns - 1.0
+        flag = ""
+        if delta > limit:
+            failures.append(f"{name}: {delta:+.1%} real_time "
+                            f"(limit +{limit:.0%})")
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {base_ns:>10.1f}ns  {fresh_ns:>10.1f}ns  "
+              f"{delta:+7.1%}{flag}")
+
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate passed: {len(names)} hot paths within "
+          f"+{limit:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

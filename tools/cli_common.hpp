@@ -1,0 +1,25 @@
+// Small helpers shared by the CLI mains in this directory (sweep, fleet).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace seo::cli {
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+inline std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace seo::cli

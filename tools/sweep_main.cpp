@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_report.hpp"
@@ -23,21 +24,7 @@
 namespace {
 
 using namespace seo;
-
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> parts;
-  std::string current;
-  for (const char c : text) {
-    if (c == sep) {
-      parts.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  parts.push_back(current);
-  return parts;
-}
+using seo::cli::split;
 
 int usage(int code) {
   std::ostream& out = code == 0 ? std::cout : std::cerr;
