@@ -12,9 +12,11 @@
 #include "safety/deadline_table.hpp"
 #include "safety/safe_interval.hpp"
 #include "safety/safety_filter.hpp"
+#include "safety/table_cache.hpp"
 #include "sensors/detector.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulation.hpp"
+#include "sim/sweep.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -198,6 +200,60 @@ BENCHMARK(BM_ExperimentBatch)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Steady-state cache hit: the lookup every episode start performs once the
+// table for its geometry exists — a key fingerprint + map probe +
+// shared_ptr copy, which must stay microseconds-class next to the
+// millisecond-class build it replaces.
+void BM_DeadlineTableCache(benchmark::State& state) {
+  DeadlineTableCache cache;
+  DeadlineTableKey key;
+  key.table.max_distance = LipschitzIntervalConfig{}.sensing_range;
+  key.body_radius = BarrierConfig{}.body_radius;
+  const Barrier barrier(key.barrier);
+  const LipschitzSafeInterval source(key.interval, barrier, Road(key.road));
+  const auto build = [&] {
+    return std::make_unique<DeadlineTable>(key.table, source,
+                                           key.body_radius);
+  };
+  (void)cache.get(key, "", build);  // warm the single entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(key, "", build));
+  }
+}
+BENCHMARK(BM_DeadlineTableCache);
+
+// Sweep-level before/after on a table-dominated rig: 16 grid points whose
+// short episodes are dwarfed by a large T(x,u) build.  cached:0 rebuilds
+// the identical table at every episode (the pre-cache behaviour);
+// cached:1 builds each distinct geometry once per sweep.  The ratio is the
+// caching win the content-addressed cache exists to deliver.
+void BM_SweepTableCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  SweepConfig config;
+  config.scenarios = {"paper_default"};
+  config.axes = {{"channel_mbps", {"8", "12", "16", "20"}},
+                 {"deadline_cap", {"2", "3", "4", "8"}}};
+  config.base_overrides = {{"road_length", "30"},
+                           {"max_episode_s", "2"},
+                           {"table_distance_bins", "81"},
+                           {"table_bearing_bins", "49"},
+                           {"table_speed_bins", "41"},
+                           {"table_cache", cached ? "true" : "false"}};
+  config.episodes = 1;
+  config.max_attempts = 1;
+  config.require_success = false;
+  config.threads = 1;
+  for (auto _ : state) {
+    DeadlineTableCache::global().clear();  // cold store every iteration
+    benchmark::DoNotOptimize(run_sweep(config));
+  }
+}
+BENCHMARK(BM_SweepTableCache)
+    ->ArgName("cached")
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_FullEpisode(benchmark::State& state) {

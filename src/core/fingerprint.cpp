@@ -1,0 +1,49 @@
+#include "core/fingerprint.hpp"
+
+#include <bit>
+
+namespace seo {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+void FingerprintHasher::mix_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ ^= static_cast<std::uint64_t>(bytes[i]);
+    state_ *= kFnvPrime;
+  }
+}
+
+void FingerprintHasher::mix(std::uint64_t v) {
+  // Explicit little-endian serialization: the digest must not depend on
+  // host byte order or on how the compiler lays out locals.
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+  mix_bytes(bytes, sizeof(bytes));
+}
+
+void FingerprintHasher::mix(double v) {
+  mix(std::bit_cast<std::uint64_t>(v));
+}
+
+void FingerprintHasher::mix(std::string_view s) {
+  mix(static_cast<std::uint64_t>(s.size()));
+  mix_bytes(s.data(), s.size());
+}
+
+std::string FingerprintHasher::hex() const { return fingerprint_hex(state_); }
+
+std::string fingerprint_hex(std::uint64_t digest) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace seo

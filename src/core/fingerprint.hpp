@@ -1,0 +1,63 @@
+// Canonical content fingerprinting — the identity function behind every
+// content-addressed artifact in the library (today: the DeadlineTable
+// cache, safety/table_cache.hpp).
+//
+// Design constraints, in order:
+//
+//  1. Canonical: the digest is a pure function of the mixed values and the
+//     order they are mixed in — no padding, pointers, locale or platform
+//     state.  Two processes (or two machines with the same endianness of
+//     double bit patterns, i.e. all supported targets) that mix the same
+//     logical key produce the same digest, so on-disk artifacts are
+//     shareable across runs and hosts.
+//  2. Bit-exact on doubles: floating-point fields are mixed as their IEEE
+//     bit patterns, never through decimal formatting.  Configs that differ
+//     in the last ulp are different keys — the config-dependency trap of
+//     "close enough" cache keys is exactly what this module exists to
+//     avoid.
+//  3. Self-delimiting: variable-length fields (strings) mix their length
+//     first, so concatenation ambiguities ("ab"+"c" vs "a"+"bc") cannot
+//     alias.
+//
+// The hash is FNV-1a over little-endian byte sequences, 64-bit.  It is a
+// content identity, not a cryptographic commitment; collision resistance
+// is the 2^-64 birthday kind, and callers that cannot tolerate silent
+// aliasing (the table cache) additionally store and compare the full key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace seo {
+
+/// Incremental canonical hasher.  Mix fields in a fixed, documented order;
+/// read the digest at the end.  Copyable value type.
+class FingerprintHasher {
+ public:
+  void mix_bytes(const void* data, std::size_t size);
+
+  void mix(std::uint64_t v);
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  /// IEEE-754 bit pattern; -0.0 and 0.0 are distinct keys by design (they
+  /// are distinct configs even if numerically equal).
+  void mix(double v);
+  /// Length-prefixed, so adjacent strings cannot alias.
+  void mix(std::string_view s);
+
+  std::uint64_t digest() const { return state_; }
+  /// Fixed-width lowercase hex of digest() — 16 characters, suitable for
+  /// file names and log lines.
+  std::string hex() const;
+
+ private:
+  // FNV-1a 64-bit offset basis.
+  std::uint64_t state_ = 14695981039346656037ull;
+};
+
+/// Renders any 64-bit digest as fixed-width lowercase hex.
+std::string fingerprint_hex(std::uint64_t digest);
+
+}  // namespace seo

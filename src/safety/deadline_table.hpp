@@ -50,6 +50,7 @@ class DeadlineTable : public SafeIntervalEvaluator {
                         const ObstacleField& field) const override;
 
   const DeadlineTableConfig& config() const { return config_; }
+  double body_radius() const { return body_radius_; }
   std::size_t cell_count() const { return values_.size(); }
 
   /// Text serialization so expensive tables (e.g. built from rollout phi)

@@ -1,0 +1,139 @@
+// Content-addressed DeadlineTable cache.
+//
+// The paper's deployment model for T(x,u) is "precompute once, ship, probe
+// cheaply" (section IV-C) — yet a naive harness rebuilds the full grid for
+// every episode, so a sweep or fleet run pays the dominant build cost
+// hundreds of times for identical geometry.  This cache restores the
+// paper's model inside the process (and, optionally, across processes via
+// an on-disk artifact store):
+//
+//  * Content-addressed.  The key (DeadlineTableKey) fingerprints EVERY
+//    input that determines the built table: the table grid/domain config,
+//    the *effective* Lipschitz interval config — including the
+//    environment_speed raise run_episode applies for moving obstacles —
+//    the barrier calibration, the road geometry, and the ego body radius.
+//    The `threads` build knob is deliberately excluded: it is an execution
+//    parameter, not a table property (the build is bit-identical for any
+//    thread count).  A missed dependent parameter is the classic silent
+//    cache-corruption bug, so key sensitivity is locked by tests.
+//  * Single-flight.  Concurrent episode workers requesting the same key
+//    block on one build instead of racing N redundant ones; every waiter
+//    receives the same immutable table.
+//  * Disk-layered (optional).  With a cache directory, built tables are
+//    persisted through the DeadlineTable::save/load text format under
+//    versioned, digest-addressed file names and reloaded by later runs.
+//    Unreadable, corrupt, or mismatched artifacts are never trusted: the
+//    entry falls back to an in-process rebuild (and rewrites the artifact).
+//
+// Determinism guarantee: a cache hit returns a table bit-identical to the
+// one a fresh build would produce (in-memory trivially; on disk because
+// save/load round-trips doubles exactly at 17 significant digits), so any
+// run is byte-identical with the cache on or off — locked by the sweep and
+// fleet golden tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dynamics/road.hpp"
+#include "safety/barrier.hpp"
+#include "safety/deadline_table.hpp"
+#include "safety/safe_interval.hpp"
+
+namespace seo {
+
+/// Everything that determines the content of a built DeadlineTable.
+/// `table.threads` is excluded from equality and from the digest.
+struct DeadlineTableKey {
+  DeadlineTableConfig table{};          ///< grid + domain (max_distance already
+                                        ///< resolved to the sensing range)
+  LipschitzIntervalConfig interval{};   ///< effective config, including any
+                                        ///< runtime environment_speed raise
+  BarrierConfig barrier{};
+  RoadParams road{};
+  double body_radius = 0.0;
+
+  /// Canonical 64-bit content digest (stable across processes and runs).
+  std::uint64_t digest() const;
+  /// digest() as fixed-width hex — the on-disk artifact address.
+  std::string hex() const;
+
+  bool operator==(const DeadlineTableKey& other) const;
+};
+
+/// Monotonic counters describing cache behaviour.  `hits + misses` equals
+/// the number of get() calls; `waits` counts the subset of hits that
+/// blocked on another caller's in-flight build (single-flight dedup).
+struct DeadlineTableCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t builds = 0;          ///< grid evaluations actually performed
+  std::uint64_t waits = 0;
+  std::uint64_t disk_loads = 0;      ///< misses served from the artifact store
+  std::uint64_t disk_stores = 0;
+  std::uint64_t disk_failures = 0;   ///< corrupt/mismatched artifacts rebuilt
+};
+
+/// Thread-safe, single-flight DeadlineTable cache.  One process-wide
+/// instance (global()) backs run_episode; independent instances are cheap
+/// and used by tests and benchmarks.
+class DeadlineTableCache {
+ public:
+  using TablePtr = std::shared_ptr<const DeadlineTable>;
+  using Builder = std::function<std::unique_ptr<DeadlineTable>()>;
+
+  DeadlineTableCache() = default;
+  DeadlineTableCache(const DeadlineTableCache&) = delete;
+  DeadlineTableCache& operator=(const DeadlineTableCache&) = delete;
+
+  /// Returns the table for `key`, building it with `build` at most once per
+  /// key across all concurrent callers.  When `disk_dir` is non-empty, a
+  /// miss first tries the artifact store and a fresh build is persisted
+  /// back (best effort — I/O failures degrade to in-memory caching, never
+  /// to a wrong table).  If `build` throws, the error propagates to every
+  /// waiter and the entry is dropped so later calls can retry.
+  TablePtr get(const DeadlineTableKey& key, const std::string& disk_dir,
+               const Builder& build);
+
+  DeadlineTableCacheStats stats() const;
+  std::size_t size() const;
+  /// Drops every entry and zeroes the stats (tests, long-lived services).
+  void clear();
+
+  /// The process-wide cache run_episode consults.
+  static DeadlineTableCache& global();
+
+  /// Nested-parallelism guard: a cache-miss build triggered from inside a
+  /// ThreadPool worker (sweep/fleet episode fan-out) must not fan out
+  /// again — the pool would run the nested range inline anyway, and a
+  /// second pool would oversubscribe the machine.  Returns 1 on a pool
+  /// worker, `requested` otherwise.
+  static int effective_build_threads(int requested);
+
+  /// Versioned artifact file name for `key` ("dtable-v1-<hex>.txt").  The
+  /// version is bumped whenever the serialized format or the key schema
+  /// changes, so stale artifacts are simply never addressed again.
+  static std::string artifact_name(const DeadlineTableKey& key);
+
+ private:
+  struct Entry {
+    DeadlineTableKey key;
+    std::shared_future<TablePtr> ready;
+  };
+
+  TablePtr load_artifact(const DeadlineTableKey& key,
+                         const std::string& disk_dir);
+  void store_artifact(const DeadlineTableKey& key, const DeadlineTable& table,
+                      const std::string& disk_dir);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  DeadlineTableCacheStats stats_;
+};
+
+}  // namespace seo

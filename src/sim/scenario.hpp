@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "control/hybrid_policy.hpp"
@@ -78,6 +79,13 @@ struct ScenarioConfig {
   double max_episode_s = 40.0;
   int physics_substeps = 4;
   bool use_lookup_table = true;        ///< probe T(x,u) vs. exact evaluator
+  /// Reuse content-identical deadline tables across episodes through the
+  /// process-wide DeadlineTableCache (safety/table_cache.hpp).  Execution
+  /// knob only: results are bit-identical with the cache on or off.
+  bool table_cache = true;
+  /// Optional on-disk artifact store for built tables (empty = in-memory
+  /// caching only).  Also an execution knob, never part of the cache key.
+  std::string table_cache_dir;
 
   // Components.
   BicycleParams vehicle{};

@@ -254,6 +254,21 @@ const std::vector<KeyDef>& key_registry() {
     k.push_back(dbl(nullptr, "table_max_speed",
                     [](ScenarioConfig& s) -> double& { return s.table.max_speed; },
                     "T(x,u) domain: max speed [m/s]"));
+    k.push_back(integer(nullptr, "table_threads",
+                        [](ScenarioConfig& s) -> int& { return s.table.threads; },
+                        "T(x,u) build threads (0 = all cores; forced serial "
+                        "on pool workers)"));
+    k.push_back(boolean(nullptr, "table_cache",
+                        [](ScenarioConfig& s) -> bool& { return s.table_cache; },
+                        "reuse content-identical T(x,u) tables across episodes"));
+    k.push_back(KeyDef{
+        nullptr, "table_cache_dir",
+        "on-disk table artifact store (empty = in-memory only)",
+        [](const KeyValueConfig& c, ScenarioConfig& s) {
+          if (c.contains("table_cache_dir"))
+            s.table_cache_dir = c.get_string("table_cache_dir");
+        },
+        [](const ScenarioConfig& s) { return s.table_cache_dir; }});
 
     k.push_back(dbl("Perception", "detector_range",
                     [](ScenarioConfig& s) -> double& { return s.detector.max_range; },

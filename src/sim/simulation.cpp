@@ -1,11 +1,13 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 
 #include "control/policy.hpp"
 #include "core/runtime.hpp"
+#include "safety/table_cache.hpp"
 #include "sim/world.hpp"
 #include "net/channel.hpp"
 #include "net/response_estimator.hpp"
@@ -92,12 +94,35 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
       std::max(interval_config.environment_speed,
                world.motions().max_obstacle_speed());
   const LipschitzSafeInterval exact_interval(interval_config, barrier, road);
-  std::unique_ptr<DeadlineTable> table;
+  std::shared_ptr<const DeadlineTable> table;
   if (config.use_lookup_table) {
     DeadlineTableConfig table_config = config.table;
     table_config.max_distance = config.interval.sensing_range;
-    table = std::make_unique<DeadlineTable>(table_config, exact_interval,
-                                            config.barrier.body_radius);
+    // A cache-miss build from inside a sweep/fleet ThreadPool fan-out must
+    // not fan out again (pools-within-pools oversubscribe the machine);
+    // build output is bit-identical for any thread count, so forcing the
+    // nested case serial changes nothing but scheduling.
+    table_config.threads =
+        DeadlineTableCache::effective_build_threads(table_config.threads);
+    const auto build = [&] {
+      return std::make_unique<DeadlineTable>(table_config, exact_interval,
+                                             config.barrier.body_radius);
+    };
+    if (config.table_cache) {
+      // The key fingerprints every table-determining input — crucially the
+      // *effective* interval config with the environment_speed raise above,
+      // so worlds with distinct obstacle speeds can never share a table.
+      DeadlineTableKey key;
+      key.table = table_config;
+      key.interval = interval_config;
+      key.barrier = config.barrier;
+      key.road = config.road;
+      key.body_radius = config.barrier.body_radius;
+      table = DeadlineTableCache::global().get(key, config.table_cache_dir,
+                                               build);
+    } else {
+      table = build();
+    }
   }
   const SafeIntervalEvaluator& deadline_source =
       table ? static_cast<const SafeIntervalEvaluator&>(*table)
@@ -118,8 +143,10 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
   EdgeServer edge_server(config.edge_server);
   OffloadLink link(config.link, channel, master.split(),
                    config.use_edge_server ? &edge_server : nullptr);
+  // Rayleigh mean = sigma * sqrt(pi/2), computed rather than a truncated
+  // literal so the estimator prior is exact.
   const double mean_rate_bps =
-      units::mbps(config.channel_scale_mbps) * 1.2533;  // sigma*sqrt(pi/2)
+      units::mbps(config.channel_scale_mbps) * std::sqrt(std::acos(-1.0) / 2.0);
 
   // --- Pipeline runtimes ---------------------------------------------------
   DetectorConfig scaled_detector_config = config.detector;

@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <string>
 
 #include "safety/barrier.hpp"
 #include "safety/deadline_table.hpp"
@@ -420,6 +422,89 @@ TEST(DeadlineTable, ConfigContracts) {
   DeadlineTableConfig bad;
   bad.distance_bins = 1;
   EXPECT_THROW(DeadlineTable(bad, source, 0.9), ContractViolation);
+  // Build enforces the same domain contract load() does, so every
+  // buildable table round-trips: degenerate radii fail up front.
+  DeadlineTableConfig zero_obstacle;
+  zero_obstacle.obstacle_radius = 0.0;
+  EXPECT_THROW(DeadlineTable(zero_obstacle, source, 0.9), ContractViolation);
+  EXPECT_THROW(DeadlineTable(DeadlineTableConfig{}, source, 0.0),
+               ContractViolation);
+}
+
+// --- Serialization ----------------------------------------------------------
+
+/// A small real table plus its serialized text, shared by the save/load
+/// hardening tests below.
+std::string small_table_text() {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  DeadlineTableConfig config;
+  config.distance_bins = 3;
+  config.bearing_bins = 3;
+  config.speed_bins = 2;
+  const DeadlineTable table(config, source, BarrierConfig{}.body_radius);
+  std::ostringstream out;
+  table.save(out);
+  return out.str();
+}
+
+TEST(DeadlineTableIo, RoundTripsExactly) {
+  const std::string text = small_table_text();
+  std::istringstream in(text);
+  const DeadlineTable loaded = DeadlineTable::load(in);
+  std::ostringstream again;
+  loaded.save(again);
+  EXPECT_EQ(again.str(), text);
+  EXPECT_EQ(loaded.body_radius(), BarrierConfig{}.body_radius);
+}
+
+TEST(DeadlineTableIo, SaveRestoresCallerPrecision) {
+  const Barrier barrier{BarrierConfig{}};
+  const LipschitzSafeInterval source(LipschitzIntervalConfig{}, barrier);
+  DeadlineTableConfig config;
+  config.distance_bins = 2;
+  config.bearing_bins = 2;
+  config.speed_bins = 2;
+  const DeadlineTable table(config, source, 0.9);
+
+  std::ostringstream out;
+  out.precision(3);
+  table.save(out);
+  EXPECT_EQ(out.precision(), 3);
+  // The stream must keep rendering at the caller's precision afterwards.
+  out.str("");
+  out << 1.0 / 3.0;
+  EXPECT_EQ(out.str(), "0.333");
+}
+
+TEST(DeadlineTableIo, LoadRejectsCorruptInput) {
+  const std::string good = small_table_text();
+
+  const auto load_fails = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(DeadlineTable::load(in), ContractViolation) << text;
+  };
+
+  // Wrong magic / version.
+  load_fails("not-a-table 1\n2 2 2\n40 15 0.8 0.9\n0 0 0 0 0 0 0 0\n");
+  load_fails("seo-dtable 7\n2 2 2\n40 15 0.8 0.9\n0 0 0 0 0 0 0 0\n");
+  // Degenerate grids.
+  load_fails("seo-dtable 1\n1 2 2\n40 15 0.8 0.9\n0 0 0 0\n");
+  // Non-positive domain scalars must not pass into episodes.
+  load_fails("seo-dtable 1\n2 2 2\n-40 15 0.8 0.9\n0 0 0 0 0 0 0 0\n");
+  load_fails("seo-dtable 1\n2 2 2\n40 0 0.8 0.9\n0 0 0 0 0 0 0 0\n");
+  load_fails("seo-dtable 1\n2 2 2\n40 15 -0.8 0.9\n0 0 0 0 0 0 0 0\n");
+  load_fails("seo-dtable 1\n2 2 2\n40 15 0.8 0\n0 0 0 0 0 0 0 0\n");
+  // Unparseable / non-finite scalars and cells (stream-fail or isfinite,
+  // whichever the platform's num_get produces — both must throw).
+  load_fails("seo-dtable 1\n2 2 2\nnan 15 0.8 0.9\n0 0 0 0 0 0 0 0\n");
+  load_fails("seo-dtable 1\n2 2 2\n40 15 0.8 0.9\n0 0 0 inf 0 0 0 0\n");
+  // Truncated payload.
+  load_fails(good.substr(0, good.size() / 2));
+  // The untampered text still loads (the guards reject corruption, not
+  // legitimate tables).
+  std::istringstream in(good);
+  EXPECT_NO_THROW(DeadlineTable::load(in));
 }
 
 }  // namespace

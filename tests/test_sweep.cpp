@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "safety/table_cache.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_report.hpp"
 #include "util/expect.hpp"
@@ -145,6 +147,84 @@ TEST(SweepDeterminism, RowsCarrySignalNotZeros) {
   for (std::size_t i = 1; i < rows.size(); ++i)
     any_diff |= sweep_metrics(rows[i]) != sweep_metrics(rows[0]);
   EXPECT_TRUE(any_diff);
+}
+
+// --- Table cache: the caching acceptance criterion --------------------------
+
+TEST(SweepTableCache, CachedReportsByteIdenticalToUncachedAcrossThreads) {
+  // The uncached serial run is the ground truth; the cached sweep must
+  // reproduce it byte for byte at every thread count — caching is an
+  // execution optimization, never an observable behaviour change.
+  SweepConfig uncached = short_sweep();
+  uncached.base_overrides.emplace_back("table_cache", "false");
+  uncached.threads = 1;
+  const auto truth_rows = run_sweep(uncached);
+  const std::string truth_csv = sweep_csv(uncached, truth_rows);
+  const std::string truth_json = sweep_json(uncached, truth_rows);
+
+  for (const int threads : {1, 2, 0}) {
+    DeadlineTableCache::global().clear();
+    SweepConfig cached = short_sweep();
+    cached.threads = threads;
+    const auto rows = run_sweep(cached);
+    EXPECT_EQ(sweep_csv(cached, rows), truth_csv)
+        << "cached CSV diverged at threads=" << threads;
+    EXPECT_EQ(sweep_json(cached, rows), truth_json)
+        << "cached JSON diverged at threads=" << threads;
+  }
+}
+
+TEST(SweepTableCache, SweepBuildsEachDistinctGeometryExactlyOnce) {
+  SweepConfig config = short_sweep();
+  config.threads = 0;
+
+  // Predict the distinct table keys exactly the way run_episode derives
+  // them (smoke scenarios are static, so no environment_speed raise).
+  std::set<std::uint64_t> distinct;
+  const auto points = expand_grid(config);
+  std::uint64_t episodes = 0;
+  for (const auto& point : points) {
+    const ScenarioConfig scenario = resolve_point(config, point);
+    ASSERT_TRUE(scenario.use_lookup_table) << point.label();
+    ASSERT_FALSE(scenario.moving_obstacles) << point.label();
+    DeadlineTableKey key;
+    key.table = scenario.table;
+    key.table.max_distance = scenario.interval.sensing_range;
+    key.interval = scenario.interval;
+    key.barrier = scenario.barrier;
+    key.road = scenario.road;
+    key.body_radius = scenario.barrier.body_radius;
+    distinct.insert(key.digest());
+    episodes += static_cast<std::uint64_t>(config.episodes);
+  }
+  ASSERT_GE(points.size(), 16u);
+  ASSERT_LT(distinct.size(), points.size());  // caching must have work to do
+
+  DeadlineTableCache::global().clear();
+  (void)run_sweep(config);
+  const DeadlineTableCacheStats stats = DeadlineTableCache::global().stats();
+  EXPECT_EQ(stats.builds, distinct.size());
+  EXPECT_EQ(stats.misses + stats.hits, episodes);
+  EXPECT_EQ(stats.hits, episodes - stats.misses);
+  EXPECT_EQ(stats.misses, distinct.size());  // single-flight: one miss per key
+  EXPECT_EQ(DeadlineTableCache::global().size(), distinct.size());
+}
+
+TEST(SweepTableCache, NestedTableParallelismStaysByteIdentical) {
+  // Regression for pools-within-pools: a scenario demanding an all-cores
+  // table build (table_threads=0) inside a threaded sweep must neither
+  // oversubscribe (builds on pool workers are forced serial) nor change a
+  // single byte of the report.  Cache off so every episode exercises the
+  // nested build path.
+  SweepConfig serial = short_sweep();
+  serial.base_overrides.emplace_back("table_cache", "false");
+  serial.base_overrides.emplace_back("table_threads", "0");
+  serial.threads = 1;
+  const std::string truth = sweep_csv(serial, run_sweep(serial));
+
+  SweepConfig threaded = serial;
+  threaded.threads = 0;
+  EXPECT_EQ(sweep_csv(threaded, run_sweep(threaded)), truth);
 }
 
 // --- Report rendering -------------------------------------------------------

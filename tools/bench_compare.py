@@ -33,6 +33,7 @@ import sys
 DEFAULT_NAMES = [
     "BM_BarrierValue",
     "BM_BicycleStepRk4",
+    "BM_DeadlineTableCache",
     "BM_DeadlineTableProbe",
     "BM_LipschitzInterval",
     "BM_MlpForwardWorkspace",

@@ -1,10 +1,25 @@
 // Small helpers shared by the CLI mains in this directory (sweep, fleet).
 #pragma once
 
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "safety/table_cache.hpp"
+
 namespace seo::cli {
+
+/// One greppable stats line for the process-wide deadline-table cache —
+/// shared so the two CLIs (and the CI assertions grepping this exact
+/// format) can never drift apart.
+inline void print_table_cache_stats(std::ostream& out) {
+  const DeadlineTableCacheStats cache = DeadlineTableCache::global().stats();
+  out << "table cache: " << cache.hits << " hits, " << cache.misses
+      << " misses, " << cache.builds << " builds, " << cache.waits
+      << " waits, " << cache.disk_loads << " disk loads, "
+      << cache.disk_stores << " disk stores, " << cache.disk_failures
+      << " disk failures\n";
+}
 
 /// Splits on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
 inline std::vector<std::string> split(const std::string& text, char sep) {

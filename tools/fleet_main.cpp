@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cli_common.hpp"
+#include "safety/table_cache.hpp"
 #include "sim/fleet_experiment.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
@@ -45,6 +46,11 @@ int usage(int code) {
          "  --seed N               base seed (default 1000)\n"
          "  --threads N            episode parallelism inside each point\n"
          "                         (1 serial, 0 all cores; default 0)\n"
+         "  --table-cache on|off   content-addressed deadline-table reuse "
+         "(default on;\n"
+         "                         results are byte-identical either way)\n"
+         "  --table-cache-dir DIR  also persist built tables as artifacts "
+         "in DIR\n"
          "  --format csv|json      grid report format (default csv)\n"
          "  --output PATH          write the grid report to PATH "
          "(default stdout)\n"
@@ -144,6 +150,16 @@ int main(int argc, char** argv) {
       base_seed = static_cast<std::uint64_t>(seed);
     } else if (arg == "--threads") {
       threads = static_cast<int>(next_int(i));
+    } else if (arg == "--table-cache") {
+      const std::string value = next_arg(i);
+      if (value != "on" && value != "off") {
+        std::cerr << "--table-cache expects on|off\n";
+        return usage(2);
+      }
+      grid.base_overrides.emplace_back("table_cache",
+                                       value == "on" ? "true" : "false");
+    } else if (arg == "--table-cache-dir") {
+      grid.base_overrides.emplace_back("table_cache_dir", next_arg(i));
     } else if (arg == "--format") {
       format = next_arg(i);
     } else if (arg == "--output") {
@@ -212,6 +228,8 @@ int main(int argc, char** argv) {
       }
     }
     if (format == "json") report << "\n  }\n}\n";
+
+    seo::cli::print_table_cache_stats(std::cerr);
 
     if (output.empty()) {
       std::cout << report.str();
