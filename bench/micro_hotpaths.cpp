@@ -8,7 +8,9 @@
 #include "control/hybrid_policy.hpp"
 #include "control/neural_policy.hpp"
 #include "dynamics/bicycle.hpp"
+#include "nn/cem.hpp"
 #include "nn/mlp.hpp"
+#include "nn/weights_store.hpp"
 #include "safety/deadline_table.hpp"
 #include "safety/safe_interval.hpp"
 #include "safety/safety_filter.hpp"
@@ -224,6 +226,74 @@ void BM_DeadlineTableCache(benchmark::State& state) {
 }
 BENCHMARK(BM_DeadlineTableCache);
 
+// Steady-state hit path for the rollout-phi artifact kind: identical
+// mechanics to the Lipschitz kind (fingerprint + map probe + shared_ptr
+// copy), benchmarked separately because its key is larger (model + rollout
+// config) and it must stay microseconds-class next to the ~10x costlier
+// build it replaces.
+void BM_RolloutPhiCache(benchmark::State& state) {
+  RolloutTableStore store;
+  RolloutTableKey key;
+  key.table.distance_bins = 9;
+  key.table.bearing_bins = 7;
+  key.table.speed_bins = 5;
+  key.table.max_distance = RolloutIntervalConfig{}.sensing_range;
+  key.body_radius = BarrierConfig{}.body_radius;
+  const Barrier barrier(key.barrier);
+  const RolloutSafeInterval source(key.rollout, BicycleModel(key.model),
+                                   barrier);
+  const auto build = [&] {
+    return std::make_unique<DeadlineTable>(key.table, source,
+                                           key.body_radius);
+  };
+  (void)store.get(key, build);  // warm the single entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.get(key, build));
+  }
+}
+BENCHMARK(BM_RolloutPhiCache);
+
+// Steady-state hit path for the CEM policy-weights kind — the probe a
+// service performs per episode instead of a multi-second training run.
+void BM_CemWeightsCache(benchmark::State& state) {
+  nn::CemWeightsStore store;
+  nn::CemWeightsKey key;
+  key.arch.sizes = {4, 8, 2};
+  key.cem.population = 8;
+  key.cem.elites = 2;
+  key.cem.generations = 2;
+  key.seed = 5;
+  key.objective_tag = "bench-quadratic";
+  key.objective_digest = 1;
+  {
+    nn::Mlp seed_net(key.arch);
+    Rng init_rng(3);
+    seed_net.init_xavier(init_rng);
+    key.init_digest =
+        nn::fingerprint_parameters(seed_net.flatten_parameters());
+  }
+  const auto build = [&] {
+    auto net = std::make_unique<nn::Mlp>(key.arch);
+    Rng init_rng(3);
+    net->init_xavier(init_rng);
+    Rng cem_rng(key.seed);
+    const auto objective = [](const nn::Vector& p) {
+      double score = 0.0;
+      for (const double v : p) score -= v * v;
+      return score;
+    };
+    const nn::CemResult result = nn::cem_optimize(
+        objective, net->flatten_parameters(), key.cem, cem_rng);
+    net->set_parameters(result.best_parameters);
+    return net;
+  };
+  (void)store.get(key, build);  // warm the single entry
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.get(key, build));
+  }
+}
+BENCHMARK(BM_CemWeightsCache);
+
 // Sweep-level before/after on a table-dominated rig: 16 grid points whose
 // short episodes are dwarfed by a large T(x,u) build.  cached:0 rebuilds
 // the identical table at every episode (the pre-cache behaviour);
@@ -251,6 +321,39 @@ void BM_SweepTableCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepTableCache)
+    ->ArgName("cached")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The same sweep-level before/after on a rollout-phi-dominated rig: the
+// rollout source integrates the KBM per cell (~10x costlier than the
+// closed-form certificate), so rebuilding the identical table every
+// episode dominates everything — the win the artifact store's "rphi" kind
+// exists to deliver (the acceptance benchmark for the rollout kind).
+void BM_SweepRolloutTableCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  SweepConfig config;
+  config.scenarios = {"paper_default"};
+  config.axes = {{"channel_mbps", {"8", "12", "16", "20"}},
+                 {"deadline_cap", {"2", "3", "4", "8"}}};
+  config.base_overrides = {{"road_length", "30"},
+                           {"max_episode_s", "2"},
+                           {"table_source", "rollout"},
+                           {"table_distance_bins", "21"},
+                           {"table_bearing_bins", "13"},
+                           {"table_speed_bins", "11"},
+                           {"table_cache", cached ? "true" : "false"}};
+  config.episodes = 1;
+  config.max_attempts = 1;
+  config.require_success = false;
+  config.threads = 1;
+  for (auto _ : state) {
+    RolloutTableStore::global().clear();  // cold store every iteration
+    benchmark::DoNotOptimize(run_sweep(config));
+  }
+}
+BENCHMARK(BM_SweepRolloutTableCache)
     ->ArgName("cached")
     ->Arg(0)
     ->Arg(1)

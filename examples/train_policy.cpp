@@ -4,7 +4,12 @@
 // actions".  The trained policy is saved to disk and evaluated against the
 // deterministic hybrid policy.
 //
-//   ./examples/train_policy [generations] [out_path]
+//   ./examples/train_policy [generations] [out_path] [artifact_dir]
+//
+// The trained weights are a content-addressed artifact (kind "cemw",
+// src/nn/weights_store.hpp): rerunning with an unchanged configuration
+// reuses the in-memory entry, and with an artifact_dir the weights persist
+// across processes — train once, reload everywhere.
 //
 // Note: the bench harness intentionally uses the deterministic hybrid
 // policy (reproducibility); this example demonstrates that the full
@@ -12,9 +17,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "control/neural_policy.hpp"
+#include "core/fingerprint.hpp"
 #include "nn/cem.hpp"
+#include "nn/weights_store.hpp"
 #include "sim/scenario.hpp"
 #include "sim/world.hpp"
 #include "util/log.hpp"
@@ -104,23 +112,55 @@ int main(int argc, char** argv) {
   cem.generations = generations;
   cem.init_stddev = 0.3;
   cem.threads = 0;  // population rollouts across all hardware threads
-  std::cout << "scoring candidates on " << ThreadPool::hardware_threads()
-            << " threads\n";
-  Rng cem_rng(7);
-  const nn::CemResult result =
-      nn::cem_optimize(objective, initial, cem, cem_rng);
 
-  seo::TextTable progress("CEM training progress");
-  progress.set_header({"generation", "best reward"});
-  for (std::size_t g = 0; g < result.generation_best.size(); ++g)
-    progress.add_row({std::to_string(g),
-                      seo::fmt_double(result.generation_best[g], 1)});
-  std::cout << progress.render();
+  // The trained weights are a pure function of (architecture, CEM
+  // hyperparameters, rng seed, objective) — exactly a CemWeightsKey, so
+  // the run trains at most once per distinct configuration.
+  nn::CemWeightsKey key;
+  key.arch = seed_policy.network().config();
+  key.cem = cem;
+  key.seed = 7;  // the CEM sampling rng below
+  key.init_digest = nn::fingerprint_parameters(initial);
+  key.objective_tag = "train_policy/default-scenario-mixed-risk";
+  {
+    // Everything the reward batch depends on; change a constant above,
+    // and this digest must move with it.
+    FingerprintHasher h;
+    h.mix(std::string_view("obstacles{0,2} seeds[11,13) ticks:1500"));
+    h.mix(-60.0);  // collision penalty
+    h.mix(-40.0);  // off-road penalty
+    h.mix(50.0);   // completion bonus
+    key.objective_digest = h.digest();
+  }
+  const std::string artifact_dir = argc > 3 ? argv[3] : "";
+
+  bool trained_now = false;
+  const auto weights = nn::cem_weights_store().get(
+      key, ArtifactDiskOptions{artifact_dir, 0, 0.0}, [&] {
+        trained_now = true;
+        std::cout << "scoring candidates on "
+                  << ThreadPool::hardware_threads() << " threads\n";
+        Rng cem_rng(7);
+        const nn::CemResult result =
+            nn::cem_optimize(objective, initial, cem, cem_rng);
+
+        seo::TextTable progress("CEM training progress");
+        progress.set_header({"generation", "best reward"});
+        for (std::size_t g = 0; g < result.generation_best.size(); ++g)
+          progress.add_row({std::to_string(g),
+                           seo::fmt_double(result.generation_best[g], 1)});
+        std::cout << progress.render();
+
+        auto net = std::make_unique<nn::Mlp>(seed_policy.network());
+        net->set_parameters(result.best_parameters);
+        return net;
+      });
+  if (!trained_now)
+    std::cout << "reused trained weights from the artifact store (cemw-"
+              << key.hex() << ")\n";
 
   // Save the trained network.
-  NeuralPolicy trained(NeuralPolicyConfig{}, BicycleParams{},
-                       seed_policy.network());
-  trained.network().set_parameters(result.best_parameters);
+  NeuralPolicy trained(NeuralPolicyConfig{}, BicycleParams{}, *weights);
   std::ofstream out(out_path);
   trained.network().save(out);
   std::cout << "\nsaved trained policy to " << out_path << "\n";

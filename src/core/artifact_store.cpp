@@ -1,0 +1,347 @@
+#include "core/artifact_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seo {
+
+namespace fs = std::filesystem;
+
+ArtifactStoreRegistry& ArtifactStoreRegistry::global() {
+  static ArtifactStoreRegistry registry;
+  return registry;
+}
+
+void ArtifactStoreRegistry::add(Handle handle) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handles_.push_back(std::move(handle));
+}
+
+std::vector<ArtifactKindStats> ArtifactStoreRegistry::snapshot() const {
+  std::vector<Handle> handles;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handles = handles_;
+  }
+  // Stats calls happen outside the registry lock: each store takes its own
+  // mutex and must never wait behind an unrelated kind's snapshot.
+  std::vector<ArtifactKindStats> out;
+  out.reserve(handles.size());
+  for (const auto& handle : handles)
+    out.push_back(ArtifactKindStats{handle.kind, handle.stats()});
+  return out;
+}
+
+void ArtifactStoreRegistry::set_memory_budget_all(
+    const ArtifactMemoryBudget& budget) const {
+  std::vector<Handle> handles;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handles = handles_;
+  }
+  for (const auto& handle : handles) handle.set_budget(budget);
+}
+
+void ArtifactStoreRegistry::clear_all() const {
+  std::vector<Handle> handles;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handles = handles_;
+  }
+  for (const auto& handle : handles) handle.clear();
+}
+
+namespace artifact_detail {
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.txt";
+constexpr const char* kManifestMagic = "seo-artifact-manifest";
+constexpr int kManifestVersion = 1;
+/// Temp files from crashed writers older than this are GC'd.
+constexpr double kStaleTmpAgeS = 300.0;
+
+/// One process-wide mutex for manifest read-modify-write cycles.  Manifest
+/// operations happen at most once per distinct artifact per process (a
+/// disk load or store; in-memory hits never touch it) and each cycle is an
+/// O(dir) text parse + rewrite, amortized against the multi-millisecond
+/// build it replaced — so a single lock beats a per-directory lock table.
+/// If artifact dirs ever reach thousands of entries, the flush-once /
+/// advisory-locking design sketched in ROADMAP.md replaces this.
+std::mutex& manifest_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+struct ManifestEntry {
+  std::uint64_t seq = 0;        ///< logical last-use order (higher = newer)
+  std::uint64_t bytes = 0;
+  std::int64_t last_used = 0;   ///< unix seconds, for the age cap
+};
+
+using Manifest = std::map<std::string, ManifestEntry>;
+
+std::int64_t now_unix() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-effort read; a missing or malformed manifest is an empty one (the
+/// GC then falls back to "everything is oldest", which only costs warmth).
+Manifest read_manifest(const fs::path& dir) {
+  Manifest manifest;
+  std::ifstream in(dir / kManifestName);
+  if (!in) return manifest;
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != kManifestMagic || version != kManifestVersion)
+    return manifest;
+  ManifestEntry entry;
+  std::string file;
+  while (in >> entry.seq >> entry.bytes >> entry.last_used >> file)
+    manifest[file] = entry;
+  return manifest;
+}
+
+void write_manifest(const fs::path& dir, const Manifest& manifest) {
+  // Temp-write + rename so concurrent readers (other processes) only ever
+  // observe a complete manifest.
+  const fs::path path = dir / kManifestName;
+  const fs::path tmp =
+      dir / (std::string(kManifestName) + ".tmp." +
+             std::to_string(static_cast<long long>(::getpid())));
+  {
+    std::ofstream out(tmp);
+    if (!out) throw ContractViolation("cannot open " + tmp.string());
+    out << kManifestMagic << " " << kManifestVersion << "\n";
+    for (const auto& [file, entry] : manifest)
+      out << entry.seq << " " << entry.bytes << " " << entry.last_used << " "
+          << file << "\n";
+    if (!out) throw ContractViolation("short write to " + tmp.string());
+  }
+  fs::rename(tmp, path);
+}
+
+std::uint64_t next_seq(const Manifest& manifest) {
+  std::uint64_t max_seq = 0;
+  for (const auto& [file, entry] : manifest)
+    max_seq = std::max(max_seq, entry.seq);
+  return max_seq + 1;
+}
+
+void record_use(const fs::path& dir, const std::string& file,
+                std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(manifest_mutex());
+  Manifest manifest = read_manifest(dir);
+  ManifestEntry& entry = manifest[file];
+  entry.seq = next_seq(manifest);
+  entry.bytes = bytes;
+  entry.last_used = now_unix();
+  write_manifest(dir, manifest);
+}
+
+bool is_tmp_file(const std::string& name) {
+  return name.find(".tmp.") != std::string::npos;
+}
+
+}  // namespace
+
+std::string artifact_file_name(const std::string& kind, int version,
+                               const std::string& hex) {
+  return kind + "-v" + std::to_string(version) + "-" + hex + ".txt";
+}
+
+bool read_artifact_payload(const std::string& path, const std::string& kind,
+                           int version, const std::string& hex,
+                           std::string& payload_out) {
+  std::ifstream in(path);
+  if (!in) return false;  // cold store: not a failure
+  // The file name is the address, but never trust content blindly: the
+  // header repeats the kind, format version and full key digest (a renamed
+  // or hand-edited artifact must re-prove its identity before the payload
+  // is even parsed).
+  std::string magic, file_kind, digest_hex;
+  int file_version = 0;
+  in >> magic >> file_kind >> file_version >> digest_hex;
+  if (!in || magic != "seo-artifact" || file_kind != kind ||
+      file_version != version || digest_hex != hex)
+    throw ContractViolation("artifact header does not match its key: " + path);
+  in.get();  // consume the newline terminating the header
+  std::ostringstream payload;
+  payload << in.rdbuf();
+  payload_out = payload.str();
+  return true;
+}
+
+void write_artifact(const ArtifactDiskOptions& disk, const std::string& kind,
+                    int version, const std::string& hex,
+                    const std::string& payload) {
+  const fs::path dir(disk.dir);
+  const std::string name = artifact_file_name(kind, version, hex);
+  const fs::path path = dir / name;
+  // Temp-write + rename so concurrent processes only ever observe complete
+  // artifacts; the pid suffix keeps same-key writers from sharing a temp
+  // file (their contents are identical, so last rename winning is fine).
+  const fs::path tmp =
+      dir / (name + ".tmp." + std::to_string(static_cast<long long>(::getpid())));
+  try {
+    fs::create_directories(dir);
+    std::uint64_t bytes = 0;
+    {
+      std::ofstream out(tmp);
+      if (!out) throw ContractViolation("cannot open " + tmp.string());
+      out << "seo-artifact " << kind << " " << version << " " << hex << "\n"
+          << payload;
+      if (!out) throw ContractViolation("short write to " + tmp.string());
+    }
+    bytes = static_cast<std::uint64_t>(fs::file_size(tmp));
+    fs::rename(tmp, path);
+    record_use(dir, name, bytes);
+  } catch (...) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw;
+  }
+  // With caps configured, every store is followed by a sweep so the dir
+  // can never drift past its bound between explicit GC runs.
+  if (disk.max_bytes > 0 || disk.max_age_s > 0.0)
+    artifact_store_gc(disk.dir, disk.max_bytes, disk.max_age_s);
+}
+
+void touch_manifest(const std::string& dir, const std::string& file) {
+  try {
+    std::uint64_t bytes = 0;
+    std::error_code ec;
+    const auto size = fs::file_size(fs::path(dir) / file, ec);
+    if (!ec) bytes = static_cast<std::uint64_t>(size);
+    record_use(fs::path(dir), file, bytes);
+  } catch (const std::exception& e) {
+    log_warn() << "artifact store: manifest touch failed for " << file << " ("
+               << e.what() << ")";
+  }
+}
+
+}  // namespace artifact_detail
+
+ArtifactGcResult artifact_store_gc(const std::string& dir,
+                                   std::uint64_t max_bytes,
+                                   double max_age_s) {
+  using artifact_detail::is_tmp_file;
+  using artifact_detail::kStaleTmpAgeS;
+  using artifact_detail::Manifest;
+  using artifact_detail::ManifestEntry;
+  ArtifactGcResult result;
+  const fs::path root(dir);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return result;
+
+  std::lock_guard<std::mutex> lock(artifact_detail::manifest_mutex());
+  auto manifest = artifact_detail::read_manifest(root);
+  const std::int64_t now = artifact_detail::now_unix();
+
+  struct Candidate {
+    std::string name;
+    std::uint64_t seq = 0;
+    std::uint64_t bytes = 0;
+    std::int64_t last_used = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& dirent : fs::directory_iterator(root, ec)) {
+    if (!dirent.is_regular_file()) continue;
+    const std::string name = dirent.path().filename().string();
+    if (name == artifact_detail::kManifestName) continue;
+    if (is_tmp_file(name)) {
+      // A temp file is either a live writer mid-store or debris from a
+      // crash; only the stale kind is removed.
+      const auto mtime = fs::last_write_time(dirent.path(), ec);
+      const double age_s =
+          ec ? 0.0
+             : std::chrono::duration<double>(
+                   fs::file_time_type::clock::now() - mtime)
+                   .count();
+      if (age_s > kStaleTmpAgeS) {
+        std::error_code rm;
+        fs::remove(dirent.path(), rm);
+        if (!rm) ++result.removed;
+      }
+      continue;
+    }
+    Candidate c;
+    c.name = name;
+    c.bytes = static_cast<std::uint64_t>(dirent.file_size(ec));
+    if (ec) c.bytes = 0;
+    const auto it = manifest.find(name);
+    if (it != manifest.end()) {
+      // Disk sizes win over manifest bookkeeping (the file is the truth).
+      c.seq = it->second.seq;
+      c.last_used = it->second.last_used;
+    } else {
+      // Unmanaged file (older format, foreign writer): oldest possible, so
+      // the sweep reclaims it first.
+      c.seq = 0;
+      c.last_used = 0;
+    }
+    candidates.push_back(std::move(c));
+    result.bytes_before += candidates.back().bytes;
+  }
+  result.scanned = candidates.size();
+  if (candidates.empty()) {
+    // Still drop manifest entries for files that no longer exist.
+    if (!manifest.empty()) artifact_detail::write_manifest(root, Manifest{});
+    return result;
+  }
+
+  // LRU order: lowest seq first; name breaks ties deterministically.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.seq != b.seq ? a.seq < b.seq : a.name < b.name;
+            });
+
+  std::uint64_t total = result.bytes_before;
+  std::vector<bool> removed(candidates.size(), false);
+  // The most-recently-used artifact is always kept: removing it would only
+  // force an immediate rebuild of the hottest key without bounding anything
+  // the next store wouldn't immediately unbound again.
+  const std::size_t keep_last = candidates.size() - 1;
+  for (std::size_t i = 0; i < keep_last; ++i) {
+    const bool too_old =
+        max_age_s > 0.0 &&
+        static_cast<double>(now - candidates[i].last_used) > max_age_s;
+    const bool over_budget = max_bytes > 0 && total > max_bytes;
+    if (!too_old && !over_budget) {
+      if (max_age_s <= 0.0) break;  // size-sorted prefix done, no age cap
+      continue;  // age cap must still examine every remaining file
+    }
+    std::error_code rm;
+    fs::remove(root / candidates[i].name, rm);
+    if (rm) continue;  // unremovable: leave its bytes counted
+    removed[i] = true;
+    total -= candidates[i].bytes;
+    ++result.removed;
+  }
+  result.bytes_after = total;
+
+  // Rewrite the manifest to exactly the surviving files.
+  Manifest survivors;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (removed[i]) continue;
+    ManifestEntry entry;
+    entry.seq = candidates[i].seq;
+    entry.bytes = candidates[i].bytes;
+    entry.last_used = candidates[i].last_used;
+    survivors[candidates[i].name] = entry;
+  }
+  artifact_detail::write_manifest(root, survivors);
+  return result;
+}
+
+}  // namespace seo

@@ -1,0 +1,433 @@
+// Generic content-addressed artifact store — the precomputation backbone
+// behind every "build once, reuse by fingerprint" artifact in the library.
+//
+// PR 4 proved the idea on the single costliest artifact (the
+// Lipschitz-built DeadlineTable); this subsystem hoists that machinery out
+// of `safety/table_cache` into a typed, reusable store so any expensive
+// precomputation — rollout-φ deadline tables, CEM-trained policy weights,
+// future artifact kinds — gets the same guarantees:
+//
+//  * Content-addressed.  An artifact kind supplies a Key type whose
+//    `digest()` canonically fingerprints EVERY content-determining input
+//    (core/fingerprint.hpp).  Execution knobs (thread counts) are excluded
+//    by construction; a missed dependent parameter is the classic silent
+//    cache-corruption bug, so each kind's key sensitivity is locked by
+//    tests and golden digests pin the hashers against accidental change.
+//  * Single-flight.  Concurrent callers requesting one key block on one
+//    build; every waiter receives the same immutable value.
+//  * Bounded in memory.  An optional entry-count / byte budget evicts
+//    least-recently-used *ready* entries; entries whose build is still in
+//    flight are never evicted, and eviction can never invalidate a value a
+//    caller already holds (values are shared_ptr-owned).  Long-lived
+//    services can therefore leave the store on without unbounded growth.
+//  * Disk-layered with GC (optional).  With a cache directory, artifacts
+//    persist under versioned digest-addressed file names (temp-write +
+//    atomic rename) and reload across processes.  A per-directory manifest
+//    tracks logical last-use order and sizes so a GC sweep can enforce
+//    size/age caps by LRU — the artifact dir is provably bounded instead
+//    of growing forever.  Unreadable, corrupt or mismatched artifacts are
+//    never trusted: they count as disk_failures, rebuild in process, and
+//    are rewritten.
+//
+// Determinism guarantee: a hit returns a value bit-identical to a fresh
+// build (in memory trivially; on disk because every kind's serialization
+// round-trips exactly), so any run is byte-identical with the store on or
+// off — locked by the sweep/fleet golden tests per kind.
+//
+// An artifact kind is described by a Traits type:
+//
+//   struct MyTraits {
+//     using Key = MyKey;      // digest(), hex(), operator==
+//     using Value = MyValue;  // immutable once built
+//     static const char* kind();            // short tag: file names, stats
+//     static int version();                 // bump on format/schema change
+//     static void serialize(const Value&, std::ostream&);
+//     static Value deserialize(std::istream&);       // throws on bad data
+//     static void validate(const Key&, const Value&);// defense in depth
+//     static std::size_t weight_bytes(const Value&); // byte-budget weight
+//   };
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "util/expect.hpp"
+#include "util/log.hpp"
+
+namespace seo {
+
+/// Monotonic counters describing one store's behaviour.  `hits + misses`
+/// equals the number of get() calls; `waits` counts the subset of hits
+/// that blocked on another caller's in-flight build (single-flight dedup);
+/// `bytes` is the current resident payload weight, not a counter.
+struct ArtifactStoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t builds = 0;         ///< builder invocations actually run
+  std::uint64_t waits = 0;
+  std::uint64_t evictions = 0;      ///< in-memory LRU evictions
+  std::uint64_t bytes = 0;          ///< resident payload bytes (approx)
+  std::uint64_t disk_loads = 0;     ///< misses served from the artifact dir
+  std::uint64_t disk_stores = 0;
+  std::uint64_t disk_failures = 0;  ///< corrupt/mismatched artifacts rebuilt
+};
+
+/// In-memory bounding for long-lived services.  0 means "unlimited" for
+/// either knob.  The most-recently-used entry (and the one a get() just
+/// completed) is always retained even when it alone exceeds the budget —
+/// evicting it would make every get miss while still not freeing the
+/// caller's reference — so the bound is exact whenever at least two ready
+/// entries are resident.
+struct ArtifactMemoryBudget {
+  std::size_t max_entries = 0;
+  std::size_t max_bytes = 0;
+};
+
+/// Disk-tier knobs for one get() call.  An empty dir disables the tier.
+/// When a size or age cap is set, a GC sweep runs after each store.
+struct ArtifactDiskOptions {
+  std::string dir;
+  std::uint64_t max_bytes = 0;  ///< artifact-dir size cap (0 = unbounded)
+  double max_age_s = 0.0;       ///< last-use age cap (0 = unbounded)
+};
+
+/// Result of one GC sweep over an artifact directory.
+struct ArtifactGcResult {
+  std::size_t scanned = 0;        ///< managed files considered
+  std::size_t removed = 0;        ///< files deleted (LRU/size/age/orphans)
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+};
+
+/// LRU GC sweep over `dir`: drops artifacts whose manifest last-use age
+/// exceeds `max_age_s` (when > 0), then least-recently-used artifacts until
+/// the directory is within `max_bytes` (when > 0), plus stale temp files
+/// from crashed writers.  The most-recently-used artifact is always kept.
+/// Safe to call concurrently within a process; cross-process races degrade
+/// to a rebuild on next use, never to a wrong value.  Returns what it did.
+ArtifactGcResult artifact_store_gc(const std::string& dir,
+                                   std::uint64_t max_bytes,
+                                   double max_age_s);
+
+/// One stats row for the unified CLI stats report.
+struct ArtifactKindStats {
+  std::string kind;
+  ArtifactStoreStats stats;
+};
+
+/// Process-wide directory of live stores, so CLIs can print one stats line
+/// per artifact kind and services can bound every kind at once.  Stores
+/// self-register on first use of their global() accessor.
+class ArtifactStoreRegistry {
+ public:
+  struct Handle {
+    std::string kind;
+    std::function<ArtifactStoreStats()> stats;
+    std::function<void()> clear;
+    std::function<void(ArtifactMemoryBudget)> set_budget;
+  };
+
+  static ArtifactStoreRegistry& global();
+
+  void add(Handle handle);
+  /// Stats for every registered kind, in registration order.
+  std::vector<ArtifactKindStats> snapshot() const;
+  void set_memory_budget_all(const ArtifactMemoryBudget& budget) const;
+  void clear_all() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Handle> handles_;
+};
+
+namespace artifact_detail {
+
+/// "<kind>-v<version>-<hex>.txt" — the digest-addressed artifact name.
+std::string artifact_file_name(const std::string& kind, int version,
+                               const std::string& hex);
+
+/// Reads `path`, verifies the "seo-artifact <kind> <version> <hex>" header
+/// (the file NAME is the address, but content must re-prove its identity),
+/// and returns the remaining payload.  Returns false when the file does
+/// not exist (a cold store, not a failure); throws on a bad header.
+bool read_artifact_payload(const std::string& path, const std::string& kind,
+                           int version, const std::string& hex,
+                           std::string& payload_out);
+
+/// Writes header + payload via temp-write + atomic rename and records the
+/// file in the directory manifest.  Throws on I/O failure.
+void write_artifact(const ArtifactDiskOptions& disk, const std::string& kind,
+                    int version, const std::string& hex,
+                    const std::string& payload);
+
+/// Marks `file` as most-recently-used in the directory manifest (so disk
+/// LRU order reflects loads, not only stores).  Best effort.
+void touch_manifest(const std::string& dir, const std::string& file);
+
+}  // namespace artifact_detail
+
+/// Thread-safe, single-flight, LRU-bounded content-addressed store for one
+/// artifact kind.  One process-wide instance per kind (global()); fresh
+/// instances are cheap and used by tests and benchmarks.
+template <typename Traits>
+class ArtifactStore {
+ public:
+  using Key = typename Traits::Key;
+  using Value = typename Traits::Value;
+  using ValuePtr = std::shared_ptr<const Value>;
+  using Builder = std::function<std::unique_ptr<Value>()>;
+
+  ArtifactStore() = default;
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  /// Returns the value for `key`, building it with `build` at most once per
+  /// key across all concurrent callers.  With a disk dir, a miss first
+  /// tries the artifact store and a fresh build is persisted back (best
+  /// effort — I/O failures degrade to in-memory caching, never to a wrong
+  /// value).  If `build` throws, the error propagates to every waiter and
+  /// the entry is dropped so later calls can retry.
+  ValuePtr get(const Key& key, const ArtifactDiskOptions& disk,
+               const Builder& build) {
+    const std::uint64_t d = key.digest();
+    std::shared_ptr<std::promise<ValuePtr>> promise;
+    std::shared_future<ValuePtr> future;
+    std::uint64_t epoch = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = entries_.find(d);
+      if (it != entries_.end()) {
+        // A 64-bit digest collision between distinct keys is ~2^-64 per
+        // pair; refusing loudly beats silently sharing a wrong value.
+        if (!(it->second.key == key))
+          throw ContractViolation(
+              std::string(Traits::kind()) +
+              " artifact digest collision: distinct keys share digest " +
+              fingerprint_hex(d));
+        ++stats_.hits;
+        if (it->second.in_flight) ++stats_.waits;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        future = it->second.ready;
+      } else {
+        ++stats_.misses;
+        promise = std::make_shared<std::promise<ValuePtr>>();
+        future = promise->get_future().share();
+        lru_.push_front(d);
+        epoch = ++epoch_counter_;
+        entries_.emplace(d, Entry{key, future, lru_.begin(), epoch, true, 0});
+      }
+    }
+    if (!promise) return future.get();  // rethrows a failed build, by design
+
+    // This caller owns the (single-flight) fill; everyone else blocks on
+    // the shared future until the value or the exception lands.
+    ValuePtr value;
+    try {
+      if (!disk.dir.empty()) value = load_artifact(key, disk);
+      if (!value) {
+        std::unique_ptr<Value> built = build();
+        SEO_ENSURE(built != nullptr);
+        value = ValuePtr(std::move(built));
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.builds;
+        }
+        if (!disk.dir.empty()) store_artifact(key, *value, disk);
+      }
+    } catch (...) {
+      {
+        // Drop the entry so later calls can retry a transient failure ...
+        std::lock_guard<std::mutex> lock(mutex_);
+        erase_if_epoch(d, epoch);
+      }
+      // ... while current waiters all observe this build's exception.
+      promise->set_exception(std::current_exception());
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // clear() or an eviction may have raced the fill; only finalize the
+      // entry this call created (the value itself is handed out anyway).
+      const auto it = entries_.find(d);
+      if (it != entries_.end() && it->second.epoch == epoch) {
+        it->second.in_flight = false;
+        it->second.bytes = Traits::weight_bytes(*value);
+        stats_.bytes += it->second.bytes;
+        enforce_budget_locked(d);
+      }
+    }
+    promise->set_value(value);
+    return value;
+  }
+
+  ValuePtr get(const Key& key, const Builder& build) {
+    return get(key, ArtifactDiskOptions{}, build);
+  }
+
+  /// In-memory budget; evicts immediately if already over.
+  void set_memory_budget(const ArtifactMemoryBudget& budget) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = budget;
+    enforce_budget_locked(/*protect_digest=*/0);
+  }
+
+  ArtifactStoreStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  /// Drops every entry and zeroes the stats (tests, long-lived services).
+  /// In-flight builds complete and hand their value to current waiters,
+  /// but are not re-admitted.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+    stats_ = ArtifactStoreStats{};
+  }
+
+  /// Versioned digest-addressed artifact file name for `key`.
+  static std::string artifact_name(const Key& key) {
+    return artifact_detail::artifact_file_name(Traits::kind(),
+                                               Traits::version(), key.hex());
+  }
+
+  /// The process-wide store for this kind; registers itself with
+  /// ArtifactStoreRegistry::global() on first use.
+  static ArtifactStore& global() {
+    static ArtifactStore* store = [] {
+      auto* s = new ArtifactStore();
+      ArtifactStoreRegistry::global().add(ArtifactStoreRegistry::Handle{
+          Traits::kind(),
+          [s] { return s->stats(); },
+          [s] { s->clear(); },
+          [s](ArtifactMemoryBudget b) { s->set_memory_budget(b); }});
+      return s;
+    }();
+    return *store;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_future<ValuePtr> ready;
+    std::list<std::uint64_t>::iterator lru;
+    std::uint64_t epoch = 0;  ///< guards finalize against clear()/evict races
+    bool in_flight = true;
+    std::size_t bytes = 0;
+  };
+
+  void erase_if_epoch(std::uint64_t digest, std::uint64_t epoch) {
+    const auto it = entries_.find(digest);
+    if (it == entries_.end() || it->second.epoch != epoch) return;
+    if (!it->second.in_flight) stats_.bytes -= it->second.bytes;
+    lru_.erase(it->second.lru);
+    entries_.erase(it);
+  }
+
+  /// Evicts ready entries LRU-first until within budget.  In-flight builds
+  /// are never evicted (their waiters still need the shared future and
+  /// they carry no payload bytes yet), the most-recently-used entry is
+  /// always retained (evicting it would only force an immediate rebuild
+  /// without freeing the caller's reference), and `protect_digest` (the
+  /// entry the caller just completed, which hits on other keys may have
+  /// pushed off the LRU front) survives even when it alone busts the
+  /// budget.
+  void enforce_budget_locked(std::uint64_t protect_digest) {
+    const auto over = [&] {
+      const bool entries_over =
+          budget_.max_entries > 0 && entries_.size() > budget_.max_entries;
+      const bool bytes_over =
+          budget_.max_bytes > 0 && stats_.bytes > budget_.max_bytes;
+      return entries_over || bytes_over;
+    };
+    auto it = lru_.end();
+    while (over() && it != lru_.begin()) {
+      --it;
+      if (it == lru_.begin()) break;  // the MRU entry is always retained
+      const std::uint64_t d = *it;
+      const auto entry = entries_.find(d);
+      SEO_ASSERT(entry != entries_.end());
+      if (entry->second.in_flight || d == protect_digest) continue;
+      stats_.bytes -= entry->second.bytes;
+      ++stats_.evictions;
+      entries_.erase(entry);
+      it = lru_.erase(it);  // returns the element after the erased one
+    }
+  }
+
+  ValuePtr load_artifact(const Key& key, const ArtifactDiskOptions& disk) {
+    const std::string name = artifact_name(key);
+    const std::string path = disk.dir + "/" + name;
+    try {
+      std::string payload;
+      if (!artifact_detail::read_artifact_payload(
+              path, Traits::kind(), Traits::version(), key.hex(), payload))
+        return nullptr;  // cold store: not a failure
+      std::istringstream in(payload);
+      auto value = std::make_shared<Value>(Traits::deserialize(in));
+      // Defense in depth: the payload must agree with the key even though
+      // the header digest already matched (catches a truncated rewrite
+      // that kept the header intact).
+      Traits::validate(key, *value);
+      artifact_detail::touch_manifest(disk.dir, name);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_loads;
+      return value;
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_failures;
+      }
+      // Log outside the lock: stderr can stall arbitrarily (pipes), and
+      // unrelated keys must not queue behind it.
+      log_warn() << Traits::kind()
+                 << " artifact store: rebuilding after unusable artifact "
+                 << path << " (" << e.what() << ")";
+      return nullptr;
+    }
+  }
+
+  void store_artifact(const Key& key, const Value& value,
+                      const ArtifactDiskOptions& disk) {
+    try {
+      std::ostringstream payload;
+      Traits::serialize(value, payload);
+      artifact_detail::write_artifact(disk, Traits::kind(), Traits::version(),
+                                      key.hex(), payload.str());
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_stores;
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_failures;
+      }
+      log_warn() << Traits::kind()
+                 << " artifact store: could not persist artifact ("
+                 << e.what() << "); continuing with the in-memory entry";
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  ///< most recently used first
+  ArtifactMemoryBudget budget_;
+  ArtifactStoreStats stats_;
+  std::uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace seo

@@ -145,9 +145,13 @@ void Mlp::save(std::ostream& out) const {
   out << "\n" << to_string(config_.hidden_act) << " "
       << to_string(config_.output_act) << "\n";
   const Vector flat = flatten_parameters();
-  out.precision(17);
+  // 17 significant digits round-trip IEEE doubles exactly — the canonical
+  // weight serialization behind the "cemw" artifact kind; the caller's
+  // stream precision is restored on exit.
+  const auto previous_precision = out.precision(17);
   for (std::size_t i = 0; i < flat.size(); ++i)
     out << flat[i] << (i + 1 == flat.size() ? '\n' : ' ');
+  out.precision(previous_precision);
 }
 
 Mlp Mlp::load(std::istream& in) {

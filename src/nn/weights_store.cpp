@@ -1,0 +1,76 @@
+#include "nn/weights_store.hpp"
+
+#include <cmath>
+
+#include "core/fingerprint.hpp"
+#include "util/expect.hpp"
+
+namespace seo::nn {
+
+namespace {
+constexpr int kCemWeightsKeySchema = 1;
+}  // namespace
+
+std::uint64_t CemWeightsKey::digest() const {
+  FingerprintHasher h;
+  h.mix(std::string_view("seo-cemw-key"));
+  h.mix(kCemWeightsKeySchema);
+  // Architecture: layer widths are length-prefixed like a string so two
+  // nets with shifted boundaries cannot alias; activations as enum values.
+  h.mix(static_cast<std::uint64_t>(arch.sizes.size()));
+  for (const std::size_t s : arch.sizes) h.mix(static_cast<std::uint64_t>(s));
+  h.mix(static_cast<int>(arch.hidden_act));
+  h.mix(static_cast<int>(arch.output_act));
+  // CEM hyperparameters; `threads` is an execution knob, not content.
+  h.mix(static_cast<std::uint64_t>(cem.population));
+  h.mix(static_cast<std::uint64_t>(cem.elites));
+  h.mix(static_cast<std::uint64_t>(cem.generations));
+  h.mix(cem.init_stddev);
+  h.mix(cem.min_stddev);
+  h.mix(cem.stddev_decay);
+  h.mix(seed);
+  h.mix(init_digest);
+  h.mix(std::string_view(objective_tag));
+  h.mix(objective_digest);
+  return h.digest();
+}
+
+std::string CemWeightsKey::hex() const { return fingerprint_hex(digest()); }
+
+bool CemWeightsKey::operator==(const CemWeightsKey& other) const {
+  return arch.sizes == other.arch.sizes &&
+         arch.hidden_act == other.arch.hidden_act &&
+         arch.output_act == other.arch.output_act &&
+         cem.population == other.cem.population &&
+         cem.elites == other.cem.elites &&
+         cem.generations == other.cem.generations &&
+         cem.init_stddev == other.cem.init_stddev &&
+         cem.min_stddev == other.cem.min_stddev &&
+         cem.stddev_decay == other.cem.stddev_decay &&
+         seed == other.seed && init_digest == other.init_digest &&
+         objective_tag == other.objective_tag &&
+         objective_digest == other.objective_digest;
+}
+
+std::uint64_t fingerprint_parameters(const Vector& params) {
+  FingerprintHasher h;
+  h.mix(std::string_view("seo-nn-params"));
+  h.mix(static_cast<std::uint64_t>(params.size()));
+  for (const double v : params) h.mix(v);
+  return h.digest();
+}
+
+void CemWeightsTraits::validate(const Key& key, const Mlp& net) {
+  const MlpConfig& c = net.config();
+  const bool matches = c.sizes == key.arch.sizes &&
+                       c.hidden_act == key.arch.hidden_act &&
+                       c.output_act == key.arch.output_act;
+  if (!matches)
+    throw ContractViolation(
+        "cem weights artifact architecture does not match its key");
+  for (const double v : net.flatten_parameters())
+    if (!std::isfinite(v))
+      throw ContractViolation("cem weights artifact has non-finite parameters");
+}
+
+}  // namespace seo::nn

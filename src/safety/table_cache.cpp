@@ -1,30 +1,24 @@
 #include "safety/table_cache.hpp"
 
-#include <unistd.h>
-
-#include <chrono>
-#include <exception>
-#include <filesystem>
-#include <fstream>
-#include <utility>
-
 #include "core/fingerprint.hpp"
 #include "util/expect.hpp"
-#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace seo {
 
 namespace {
-/// Bump on any change to the key schema or the serialized table format:
-/// old artifacts then simply stop being addressed (no migration logic).
-constexpr int kArtifactVersion = 1;
+/// Key-schema versions, mixed into the digests: bump on any change to the
+/// fingerprinted field set, so every existing artifact address (which
+/// embeds the digest) simply stops being addressed — no migration logic.
+/// Distinct from Traits::version(), which tracks the container format.
+constexpr int kLipschitzKeySchema = 1;  ///< unchanged since PR 4
+constexpr int kRolloutKeySchema = 1;
 }  // namespace
 
 std::uint64_t DeadlineTableKey::digest() const {
   FingerprintHasher h;
   h.mix(std::string_view("seo-dtable-key"));
-  h.mix(kArtifactVersion);
+  h.mix(kLipschitzKeySchema);
   // Table grid + domain.  `table.threads` is an execution knob, not a table
   // property — deliberately not mixed.
   h.mix(table.distance_bins);
@@ -73,177 +67,92 @@ bool DeadlineTableKey::operator==(const DeadlineTableKey& other) const {
          body_radius == other.body_radius;
 }
 
-std::string DeadlineTableCache::artifact_name(const DeadlineTableKey& key) {
-  return "dtable-v" + std::to_string(kArtifactVersion) + "-" + key.hex() +
-         ".txt";
+std::uint64_t RolloutTableKey::digest() const {
+  FingerprintHasher h;
+  h.mix(std::string_view("seo-rphi-key"));
+  h.mix(kRolloutKeySchema);
+  // Table grid + domain (threads excluded, as for the Lipschitz kind).
+  h.mix(table.distance_bins);
+  h.mix(table.bearing_bins);
+  h.mix(table.speed_bins);
+  h.mix(table.max_distance);
+  h.mix(table.max_speed);
+  h.mix(table.obstacle_radius);
+  // Effective rollout config: every knob changes where the integrated
+  // trajectory crosses h = 0, hence every cell.
+  h.mix(rollout.sensing_range);
+  h.mix(rollout.horizon_s);
+  h.mix(rollout.step_s);
+  h.mix(rollout.bisection_iters);
+  // The vehicle model the rollout integrates.
+  h.mix(model.wheelbase_front);
+  h.mix(model.wheelbase_rear);
+  h.mix(model.max_steer);
+  h.mix(model.max_accel);
+  h.mix(model.max_brake);
+  h.mix(model.drag_coeff);
+  h.mix(model.max_speed);
+  // Barrier calibration.
+  h.mix(barrier.body_radius);
+  h.mix(barrier.margin);
+  h.mix(barrier.heading_gain);
+  // Road geometry (not read by today's rollout evaluator, but mixed so a
+  // future road-boundary term cannot silently alias existing artifacts).
+  h.mix(road.length);
+  h.mix(road.half_width);
+  h.mix(body_radius);
+  return h.digest();
 }
 
-DeadlineTableCache::TablePtr DeadlineTableCache::load_artifact(
-    const DeadlineTableKey& key, const std::string& disk_dir) {
-  const std::filesystem::path path =
-      std::filesystem::path(disk_dir) / artifact_name(key);
-  std::ifstream in(path);
-  if (!in) return nullptr;  // cold store: not a failure
-  try {
-    // The file name is the address, but never trust content blindly: the
-    // header repeats the full key digest (the serialized table alone could
-    // not expose an interval/barrier/road mismatch), so a renamed or
-    // hand-edited artifact must re-prove its identity before the payload
-    // is even parsed.
-    std::string magic, digest_hex;
-    int version = 0;
-    in >> magic >> version >> digest_hex;
-    if (!in || magic != "seo-dtable-artifact" || version != kArtifactVersion ||
-        digest_hex != key.hex())
-      throw ContractViolation("table artifact header does not match its key: " +
-                              path.string());
-    auto table = std::make_shared<DeadlineTable>(DeadlineTable::load(in));
-    // Defense in depth: the payload's own table shape must agree with the
-    // key too (catches a truncated rewrite that kept the header intact).
-    const DeadlineTableConfig& c = table->config();
-    const bool matches = c.distance_bins == key.table.distance_bins &&
-                         c.bearing_bins == key.table.bearing_bins &&
-                         c.speed_bins == key.table.speed_bins &&
-                         c.max_distance == key.table.max_distance &&
-                         c.max_speed == key.table.max_speed &&
-                         c.obstacle_radius == key.table.obstacle_radius &&
-                         table->body_radius() == key.body_radius;
-    if (!matches)
-      throw ContractViolation("table artifact does not match its key: " +
-                              path.string());
-    return table;
-  } catch (const std::exception& e) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.disk_failures;
-    }
-    // Log outside the lock: stderr can stall arbitrarily (pipes), and
-    // unrelated keys must not queue behind it.
-    log_warn() << "table cache: rebuilding after unusable artifact "
-               << path.string() << " (" << e.what() << ")";
-    return nullptr;
-  }
+std::string RolloutTableKey::hex() const { return fingerprint_hex(digest()); }
+
+bool RolloutTableKey::operator==(const RolloutTableKey& other) const {
+  return table.distance_bins == other.table.distance_bins &&
+         table.bearing_bins == other.table.bearing_bins &&
+         table.speed_bins == other.table.speed_bins &&
+         table.max_distance == other.table.max_distance &&
+         table.max_speed == other.table.max_speed &&
+         table.obstacle_radius == other.table.obstacle_radius &&
+         rollout.sensing_range == other.rollout.sensing_range &&
+         rollout.horizon_s == other.rollout.horizon_s &&
+         rollout.step_s == other.rollout.step_s &&
+         rollout.bisection_iters == other.rollout.bisection_iters &&
+         model.wheelbase_front == other.model.wheelbase_front &&
+         model.wheelbase_rear == other.model.wheelbase_rear &&
+         model.max_steer == other.model.max_steer &&
+         model.max_accel == other.model.max_accel &&
+         model.max_brake == other.model.max_brake &&
+         model.drag_coeff == other.model.drag_coeff &&
+         model.max_speed == other.model.max_speed &&
+         barrier.body_radius == other.barrier.body_radius &&
+         barrier.margin == other.barrier.margin &&
+         barrier.heading_gain == other.barrier.heading_gain &&
+         road.length == other.road.length &&
+         road.half_width == other.road.half_width &&
+         body_radius == other.body_radius;
 }
 
-void DeadlineTableCache::store_artifact(const DeadlineTableKey& key,
-                                        const DeadlineTable& table,
-                                        const std::string& disk_dir) {
-  const std::filesystem::path dir(disk_dir);
-  const std::filesystem::path path = dir / artifact_name(key);
-  // Temp-write + rename so concurrent processes only ever observe complete
-  // artifacts; the pid suffix keeps same-key writers from sharing a temp
-  // file (their contents are identical, so last rename winning is fine).
-  const std::filesystem::path tmp =
-      dir / (artifact_name(key) + ".tmp." + std::to_string(::getpid()));
-  try {
-    std::filesystem::create_directories(dir);
-    {
-      std::ofstream out(tmp);
-      if (!out) throw ContractViolation("cannot open " + tmp.string());
-      // Header (artifact version + full key digest) then the plain
-      // DeadlineTable serialization — load_artifact verifies the digest
-      // before trusting the payload.
-      out << "seo-dtable-artifact " << kArtifactVersion << " " << key.hex()
-          << "\n";
-      table.save(out);
-      if (!out) throw ContractViolation("short write to " + tmp.string());
-    }
-    std::filesystem::rename(tmp, path);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.disk_stores;
-  } catch (const std::exception& e) {
-    std::error_code ec;
-    std::filesystem::remove(tmp, ec);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.disk_failures;
-    }
-    log_warn() << "table cache: could not persist artifact (" << e.what()
-               << "); continuing with the in-memory entry";
-  }
+namespace table_artifact_detail {
+
+void validate_table_shape(const DeadlineTableConfig& expected,
+                          double expected_body_radius,
+                          const DeadlineTable& table) {
+  const DeadlineTableConfig& c = table.config();
+  const bool matches = c.distance_bins == expected.distance_bins &&
+                       c.bearing_bins == expected.bearing_bins &&
+                       c.speed_bins == expected.speed_bins &&
+                       c.max_distance == expected.max_distance &&
+                       c.max_speed == expected.max_speed &&
+                       c.obstacle_radius == expected.obstacle_radius &&
+                       table.body_radius() == expected_body_radius;
+  if (!matches)
+    throw ContractViolation("table artifact payload does not match its key");
 }
 
-DeadlineTableCache::TablePtr DeadlineTableCache::get(
-    const DeadlineTableKey& key, const std::string& disk_dir,
-    const Builder& build) {
-  const std::uint64_t d = key.digest();
-  std::shared_ptr<std::promise<TablePtr>> promise;
-  std::shared_future<TablePtr> future;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = entries_.find(d);
-    if (it != entries_.end()) {
-      // A 64-bit digest collision between distinct keys is ~2^-64 per pair;
-      // refusing loudly beats silently sharing a wrong table.
-      if (!(it->second.key == key))
-        throw ContractViolation(
-            "DeadlineTableKey digest collision: distinct keys share digest " +
-            fingerprint_hex(d));
-      ++stats_.hits;
-      const bool in_flight =
-          it->second.ready.wait_for(std::chrono::seconds(0)) !=
-          std::future_status::ready;
-      if (in_flight) ++stats_.waits;
-      future = it->second.ready;
-    } else {
-      ++stats_.misses;
-      promise = std::make_shared<std::promise<TablePtr>>();
-      future = promise->get_future().share();
-      entries_.emplace(d, Entry{key, future});
-    }
-  }
-  if (!promise) return future.get();  // rethrows a failed build, by design
-
-  // This caller owns the (single-flight) fill; everyone else blocks on the
-  // shared future until the value or the exception lands.
-  TablePtr table;
-  try {
-    if (!disk_dir.empty()) table = load_artifact(key, disk_dir);
-    if (table) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.disk_loads;
-    } else {
-      std::unique_ptr<DeadlineTable> built = build();
-      SEO_ENSURE(built != nullptr);
-      table = TablePtr(std::move(built));
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.builds;
-      }
-      if (!disk_dir.empty()) store_artifact(key, *table, disk_dir);
-    }
-  } catch (...) {
-    {
-      // Drop the entry so later calls can retry a transient failure ...
-      std::lock_guard<std::mutex> lock(mutex_);
-      entries_.erase(d);
-    }
-    // ... while current waiters all observe this build's exception.
-    promise->set_exception(std::current_exception());
-    throw;
-  }
-  promise->set_value(table);
-  return table;
-}
-
-DeadlineTableCacheStats DeadlineTableCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
-}
-
-std::size_t DeadlineTableCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
-}
-
-void DeadlineTableCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
-  stats_ = DeadlineTableCacheStats{};
-}
+}  // namespace table_artifact_detail
 
 DeadlineTableCache& DeadlineTableCache::global() {
-  static DeadlineTableCache cache;
+  static DeadlineTableCache cache(Store::global());
   return cache;
 }
 

@@ -1,45 +1,41 @@
-// Content-addressed DeadlineTable cache.
+// Content-addressed DeadlineTable caching — the safety-layer artifact
+// kinds registered with the generic store (core/artifact_store.hpp).
 //
 // The paper's deployment model for T(x,u) is "precompute once, ship, probe
 // cheaply" (section IV-C) — yet a naive harness rebuilds the full grid for
 // every episode, so a sweep or fleet run pays the dominant build cost
-// hundreds of times for identical geometry.  This cache restores the
+// hundreds of times for identical geometry.  Two table kinds restore the
 // paper's model inside the process (and, optionally, across processes via
-// an on-disk artifact store):
+// the on-disk artifact store):
 //
-//  * Content-addressed.  The key (DeadlineTableKey) fingerprints EVERY
-//    input that determines the built table: the table grid/domain config,
-//    the *effective* Lipschitz interval config — including the
-//    environment_speed raise run_episode applies for moving obstacles —
-//    the barrier calibration, the road geometry, and the ego body radius.
-//    The `threads` build knob is deliberately excluded: it is an execution
-//    parameter, not a table property (the build is bit-identical for any
-//    thread count).  A missed dependent parameter is the classic silent
-//    cache-corruption bug, so key sensitivity is locked by tests.
-//  * Single-flight.  Concurrent episode workers requesting the same key
-//    block on one build instead of racing N redundant ones; every waiter
-//    receives the same immutable table.
-//  * Disk-layered (optional).  With a cache directory, built tables are
-//    persisted through the DeadlineTable::save/load text format under
-//    versioned, digest-addressed file names and reloaded by later runs.
-//    Unreadable, corrupt, or mismatched artifacts are never trusted: the
-//    entry falls back to an in-process rebuild (and rewrites the artifact).
+//  * "dtable" — Lipschitz-certificate tables.  DeadlineTableKey
+//    fingerprints EVERY input that determines the built table: the table
+//    grid/domain config, the *effective* Lipschitz interval config —
+//    including the environment_speed raise run_episode applies for moving
+//    obstacles — the barrier calibration, the road geometry, and the ego
+//    body radius.  The `threads` build knob is deliberately excluded: it
+//    is an execution parameter, not a table property (the build is
+//    bit-identical for any thread count).  A missed dependent parameter is
+//    the classic silent cache-corruption bug, so key sensitivity is locked
+//    by tests and the digest is pinned by a golden-value test.
+//  * "rphi" — rollout-φ tables.  RolloutSafeInterval sources integrate the
+//    KBM per cell (~10× costlier than the closed-form certificate), which
+//    makes caching even more valuable.  RolloutTableKey fingerprints the
+//    effective RolloutIntervalConfig, the vehicle model the rollout
+//    integrates, the barrier, the road and the grid/domain config.
 //
-// Determinism guarantee: a cache hit returns a table bit-identical to the
-// one a fresh build would produce (in-memory trivially; on disk because
-// save/load round-trips doubles exactly at 17 significant digits), so any
-// run is byte-identical with the cache on or off — locked by the sweep and
-// fleet golden tests.
+// DeadlineTableCache is the PR 4 API, kept as a thin adapter over the
+// generic store so existing call sites and tests are undisturbed while the
+// mechanics (single-flight, LRU memory budget, disk tier + GC) live in
+// core/artifact_store.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <future>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
+#include "core/artifact_store.hpp"
+#include "dynamics/bicycle.hpp"
 #include "dynamics/road.hpp"
 #include "safety/barrier.hpp"
 #include "safety/deadline_table.hpp"
@@ -47,8 +43,8 @@
 
 namespace seo {
 
-/// Everything that determines the content of a built DeadlineTable.
-/// `table.threads` is excluded from equality and from the digest.
+/// Everything that determines the content of a Lipschitz-built
+/// DeadlineTable.  `table.threads` is excluded from equality and digest.
 struct DeadlineTableKey {
   DeadlineTableConfig table{};          ///< grid + domain (max_distance already
                                         ///< resolved to the sensing range)
@@ -58,7 +54,8 @@ struct DeadlineTableKey {
   RoadParams road{};
   double body_radius = 0.0;
 
-  /// Canonical 64-bit content digest (stable across processes and runs).
+  /// Canonical 64-bit content digest (stable across processes and runs —
+  /// pinned by the golden-digest test).
   std::uint64_t digest() const;
   /// digest() as fixed-width hex — the on-disk artifact address.
   std::string hex() const;
@@ -66,46 +63,123 @@ struct DeadlineTableKey {
   bool operator==(const DeadlineTableKey& other) const;
 };
 
-/// Monotonic counters describing cache behaviour.  `hits + misses` equals
-/// the number of get() calls; `waits` counts the subset of hits that
-/// blocked on another caller's in-flight build (single-flight dedup).
-struct DeadlineTableCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t builds = 0;          ///< grid evaluations actually performed
-  std::uint64_t waits = 0;
-  std::uint64_t disk_loads = 0;      ///< misses served from the artifact store
-  std::uint64_t disk_stores = 0;
-  std::uint64_t disk_failures = 0;   ///< corrupt/mismatched artifacts rebuilt
+/// Everything that determines the content of a rollout-φ DeadlineTable:
+/// the rollout integrates the vehicle model under a held control until the
+/// barrier crosses zero, so the model and barrier calibration are content
+/// inputs alongside the rollout horizon/step/bisection and the grid.
+/// `table.threads` is excluded, as is `rollout` execution state.
+struct RolloutTableKey {
+  DeadlineTableConfig table{};
+  RolloutIntervalConfig rollout{};  ///< effective config (sensing_range
+                                    ///< resolved from the scenario)
+  BicycleParams model{};
+  BarrierConfig barrier{};
+  RoadParams road{};
+  double body_radius = 0.0;
+
+  std::uint64_t digest() const;
+  std::string hex() const;
+
+  bool operator==(const RolloutTableKey& other) const;
 };
 
-/// Thread-safe, single-flight DeadlineTable cache.  One process-wide
-/// instance (global()) backs run_episode; independent instances are cheap
-/// and used by tests and benchmarks.
+namespace table_artifact_detail {
+/// Shared serialize/deserialize/validate for both DeadlineTable kinds: the
+/// plain save/load text payload (round-trips doubles exactly) plus the
+/// shape check against the key that the payload alone cannot prove.
+void validate_table_shape(const DeadlineTableConfig& expected,
+                          double expected_body_radius,
+                          const DeadlineTable& table);
+}  // namespace table_artifact_detail
+
+/// Artifact kind "dtable": Lipschitz-certificate deadline tables.
+struct LipschitzTableTraits {
+  using Key = DeadlineTableKey;
+  using Value = DeadlineTable;
+  static const char* kind() { return "dtable"; }
+  /// Container format version: v2 is the generic `seo-artifact` header
+  /// (PR 4's bespoke v1 files are simply never addressed again and get
+  /// reclaimed by the GC sweep).
+  static int version() { return 2; }
+  static void serialize(const DeadlineTable& table, std::ostream& out) {
+    table.save(out);
+  }
+  static DeadlineTable deserialize(std::istream& in) {
+    return DeadlineTable::load(in);
+  }
+  static void validate(const Key& key, const DeadlineTable& table) {
+    table_artifact_detail::validate_table_shape(key.table, key.body_radius,
+                                                table);
+  }
+  static std::size_t weight_bytes(const DeadlineTable& table) {
+    return table.cell_count() * sizeof(double) + 256;
+  }
+};
+
+/// Artifact kind "rphi": rollout-φ deadline tables.
+struct RolloutTableTraits {
+  using Key = RolloutTableKey;
+  using Value = DeadlineTable;
+  static const char* kind() { return "rphi"; }
+  static int version() { return 1; }
+  static void serialize(const DeadlineTable& table, std::ostream& out) {
+    table.save(out);
+  }
+  static DeadlineTable deserialize(std::istream& in) {
+    return DeadlineTable::load(in);
+  }
+  static void validate(const Key& key, const DeadlineTable& table) {
+    table_artifact_detail::validate_table_shape(key.table, key.body_radius,
+                                                table);
+  }
+  static std::size_t weight_bytes(const DeadlineTable& table) {
+    return table.cell_count() * sizeof(double) + 256;
+  }
+};
+
+using RolloutTableStore = ArtifactStore<RolloutTableTraits>;
+
+/// Stats alias kept from PR 4 (same counters, now with eviction/byte
+/// fields from the generic store).
+using DeadlineTableCacheStats = ArtifactStoreStats;
+
+/// Thin adapter over ArtifactStore<LipschitzTableTraits> preserving the
+/// PR 4 cache API.  One process-wide instance (global()) backs
+/// run_episode; independent instances are cheap and used by tests and
+/// benchmarks (they deliberately do NOT register with the store registry —
+/// only global stores report in the unified CLI stats).
 class DeadlineTableCache {
  public:
-  using TablePtr = std::shared_ptr<const DeadlineTable>;
-  using Builder = std::function<std::unique_ptr<DeadlineTable>()>;
+  using Store = ArtifactStore<LipschitzTableTraits>;
+  using TablePtr = Store::ValuePtr;
+  using Builder = Store::Builder;
 
-  DeadlineTableCache() = default;
+  DeadlineTableCache() : owned_(std::make_unique<Store>()), store_(*owned_) {}
   DeadlineTableCache(const DeadlineTableCache&) = delete;
   DeadlineTableCache& operator=(const DeadlineTableCache&) = delete;
 
   /// Returns the table for `key`, building it with `build` at most once per
-  /// key across all concurrent callers.  When `disk_dir` is non-empty, a
-  /// miss first tries the artifact store and a fresh build is persisted
-  /// back (best effort — I/O failures degrade to in-memory caching, never
-  /// to a wrong table).  If `build` throws, the error propagates to every
-  /// waiter and the entry is dropped so later calls can retry.
+  /// key across all concurrent callers (see ArtifactStore::get).
   TablePtr get(const DeadlineTableKey& key, const std::string& disk_dir,
-               const Builder& build);
+               const Builder& build) {
+    return store_.get(key, ArtifactDiskOptions{disk_dir, 0, 0.0}, build);
+  }
+  TablePtr get(const DeadlineTableKey& key, const ArtifactDiskOptions& disk,
+               const Builder& build) {
+    return store_.get(key, disk, build);
+  }
 
-  DeadlineTableCacheStats stats() const;
-  std::size_t size() const;
+  void set_memory_budget(const ArtifactMemoryBudget& budget) {
+    store_.set_memory_budget(budget);
+  }
+
+  DeadlineTableCacheStats stats() const { return store_.stats(); }
+  std::size_t size() const { return store_.size(); }
   /// Drops every entry and zeroes the stats (tests, long-lived services).
-  void clear();
+  void clear() { store_.clear(); }
 
-  /// The process-wide cache run_episode consults.
+  /// The process-wide cache run_episode consults (wraps the registered
+  /// global "dtable" store).
   static DeadlineTableCache& global();
 
   /// Nested-parallelism guard: a cache-miss build triggered from inside a
@@ -115,25 +189,16 @@ class DeadlineTableCache {
   /// worker, `requested` otherwise.
   static int effective_build_threads(int requested);
 
-  /// Versioned artifact file name for `key` ("dtable-v1-<hex>.txt").  The
-  /// version is bumped whenever the serialized format or the key schema
-  /// changes, so stale artifacts are simply never addressed again.
-  static std::string artifact_name(const DeadlineTableKey& key);
+  /// Versioned artifact file name for `key` ("dtable-v2-<hex>.txt").
+  static std::string artifact_name(const DeadlineTableKey& key) {
+    return Store::artifact_name(key);
+  }
 
  private:
-  struct Entry {
-    DeadlineTableKey key;
-    std::shared_future<TablePtr> ready;
-  };
+  explicit DeadlineTableCache(Store& store) : store_(store) {}
 
-  TablePtr load_artifact(const DeadlineTableKey& key,
-                         const std::string& disk_dir);
-  void store_artifact(const DeadlineTableKey& key, const DeadlineTable& table,
-                      const std::string& disk_dir);
-
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  DeadlineTableCacheStats stats_;
+  std::unique_ptr<Store> owned_;  ///< null for the global() wrapper
+  Store& store_;
 };
 
 }  // namespace seo

@@ -37,6 +37,16 @@ enum class OptimizerMode {
 
 const char* to_string(OptimizerMode mode);
 
+/// Which safe-interval evaluator the deadline table T(x,u) is built from
+/// (and which exact evaluator backs the episode when the table is off).
+enum class TableSource {
+  kLipschitz,  ///< closed-form certificate (paper III-B; default)
+  kRollout,    ///< numerical rollout of phi — ~10x costlier per cell, so
+               ///< its tables are the artifact store's best customer
+};
+
+const char* to_string(TableSource source);
+
 /// Fleet-level shape of a scenario: how many vehicles share the edge
 /// cluster and how their uplink streams interact on the shared channel
 /// (consumed by run_fleet_experiment; a plain single-vehicle experiment
@@ -79,19 +89,34 @@ struct ScenarioConfig {
   double max_episode_s = 40.0;
   int physics_substeps = 4;
   bool use_lookup_table = true;        ///< probe T(x,u) vs. exact evaluator
+  /// Evaluator the deadline table (or the exact fallback) derives from.
+  TableSource table_source = TableSource::kLipschitz;
   /// Reuse content-identical deadline tables across episodes through the
-  /// process-wide DeadlineTableCache (safety/table_cache.hpp).  Execution
-  /// knob only: results are bit-identical with the cache on or off.
+  /// process-wide artifact stores (safety/table_cache.hpp over
+  /// core/artifact_store.hpp).  Execution knob only: results are
+  /// bit-identical with the cache on or off.
   bool table_cache = true;
-  /// Optional on-disk artifact store for built tables (empty = in-memory
-  /// caching only).  Also an execution knob, never part of the cache key.
+  /// Optional on-disk artifact store for built artifacts (empty =
+  /// in-memory caching only).  Also an execution knob, never part of any
+  /// cache key.
   std::string table_cache_dir;
+  // Artifact-store bounding (execution knobs; 0 = unbounded).  The disk
+  // caps trigger an LRU GC sweep of `table_cache_dir` after each store;
+  // the memory caps bound each kind's in-process cache.
+  double cache_budget_mb = 0.0;    ///< artifact-dir size cap [MB]
+  double cache_max_age_h = 0.0;    ///< artifact last-use age cap [hours]
+  double cache_mem_mb = 0.0;       ///< per-kind in-memory byte budget [MB]
+  int cache_mem_entries = 0;       ///< per-kind in-memory entry cap
 
   // Components.
   BicycleParams vehicle{};
   BarrierConfig barrier{};
   SafetyFilterConfig filter{};
   LipschitzIntervalConfig interval{};
+  /// Rollout-phi evaluator knobs (table_source = kRollout); its
+  /// sensing_range is resolved from `interval.sensing_range` at run time so
+  /// the two sources always see one sensing horizon.
+  RolloutIntervalConfig rollout{};
   DeadlineTableConfig table{};
   HybridPolicyConfig policy{};
   DetectorConfig detector{};

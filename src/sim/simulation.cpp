@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
 #include "control/policy.hpp"
@@ -63,7 +64,91 @@ std::unique_ptr<OptimizationStrategy> make_strategy(OptimizerMode mode) {
   return nullptr;
 }
 
+// --- Artifact-store plumbing (shared by run_episode and the digest
+// --- helper, so the two key constructions can never drift apart).
+
+std::uint64_t mb_to_bytes(double mb) {
+  return mb > 0.0 ? static_cast<std::uint64_t>(mb * 1024.0 * 1024.0) : 0;
+}
+
+ArtifactDiskOptions artifact_disk_options(const ScenarioConfig& config) {
+  ArtifactDiskOptions disk;
+  disk.dir = config.table_cache_dir;
+  disk.max_bytes = mb_to_bytes(config.cache_budget_mb);
+  disk.max_age_s = config.cache_max_age_h > 0.0
+                       ? config.cache_max_age_h * 3600.0
+                       : 0.0;
+  return disk;
+}
+
+ArtifactMemoryBudget artifact_memory_budget(const ScenarioConfig& config) {
+  ArtifactMemoryBudget budget;
+  budget.max_entries = config.cache_mem_entries > 0
+                           ? static_cast<std::size_t>(config.cache_mem_entries)
+                           : 0;
+  budget.max_bytes = static_cast<std::size_t>(mb_to_bytes(config.cache_mem_mb));
+  return budget;
+}
+
+/// Table grid with the domain resolved to the sensing range (both sources
+/// share one sensing horizon).
+DeadlineTableConfig effective_table_config(const ScenarioConfig& config) {
+  DeadlineTableConfig table = config.table;
+  table.max_distance = config.interval.sensing_range;
+  return table;
+}
+
+RolloutIntervalConfig effective_rollout_config(const ScenarioConfig& config) {
+  RolloutIntervalConfig rollout = config.rollout;
+  rollout.sensing_range = config.interval.sensing_range;
+  return rollout;
+}
+
+/// The key fingerprints every table-determining input — crucially the
+/// *effective* interval config with the moving-obstacle environment_speed
+/// raise, so worlds with distinct obstacle speeds can never share a table.
+DeadlineTableKey lipschitz_table_key(
+    const ScenarioConfig& config,
+    const LipschitzIntervalConfig& effective_interval) {
+  DeadlineTableKey key;
+  key.table = effective_table_config(config);
+  key.interval = effective_interval;
+  key.barrier = config.barrier;
+  key.road = config.road;
+  key.body_radius = config.barrier.body_radius;
+  return key;
+}
+
+RolloutTableKey rollout_table_key(const ScenarioConfig& config) {
+  RolloutTableKey key;
+  key.table = effective_table_config(config);
+  key.rollout = effective_rollout_config(config);
+  key.model = config.vehicle;
+  key.barrier = config.barrier;
+  key.road = config.road;
+  key.body_radius = config.barrier.body_radius;
+  return key;
+}
+
 }  // namespace
+
+std::uint64_t scenario_table_digest(const ScenarioConfig& config) {
+  if (!config.use_lookup_table || !config.table_cache) return 0;
+  if (config.table_source == TableSource::kRollout)
+    return rollout_table_key(config).digest();
+  LipschitzIntervalConfig interval = config.interval;
+  if (config.moving_obstacles) {
+    // Replicate run_episode's world sampling: the runtime raise derives
+    // from the sampled obstacle motions, which come off the same rng split.
+    Rng master(config.seed);
+    Rng obstacle_rng = master.split();
+    interval.environment_speed =
+        std::max(interval.environment_speed,
+                 make_moving_obstacles(config, obstacle_rng)
+                     .max_obstacle_speed());
+  }
+  return lipschitz_table_key(config, interval).digest();
+}
 
 EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
   SEO_EXPECT(!config.pipelines.empty());
@@ -94,39 +179,60 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
       std::max(interval_config.environment_speed,
                world.motions().max_obstacle_speed());
   const LipschitzSafeInterval exact_interval(interval_config, barrier, road);
+  // Rollout-phi evaluator when the scenario derives deadlines from the
+  // integrated phi instead of the closed-form certificate.
+  std::optional<RolloutSafeInterval> rollout_exact;
+  if (config.table_source == TableSource::kRollout)
+    rollout_exact.emplace(effective_rollout_config(config), vehicle_model,
+                          barrier);
   std::shared_ptr<const DeadlineTable> table;
   if (config.use_lookup_table) {
-    DeadlineTableConfig table_config = config.table;
-    table_config.max_distance = config.interval.sensing_range;
+    DeadlineTableConfig table_config = effective_table_config(config);
     // A cache-miss build from inside a sweep/fleet ThreadPool fan-out must
     // not fan out again (pools-within-pools oversubscribe the machine);
     // build output is bit-identical for any thread count, so forcing the
     // nested case serial changes nothing but scheduling.
     table_config.threads =
         DeadlineTableCache::effective_build_threads(table_config.threads);
-    const auto build = [&] {
-      return std::make_unique<DeadlineTable>(table_config, exact_interval,
-                                             config.barrier.body_radius);
-    };
-    if (config.table_cache) {
-      // The key fingerprints every table-determining input — crucially the
-      // *effective* interval config with the environment_speed raise above,
-      // so worlds with distinct obstacle speeds can never share a table.
-      DeadlineTableKey key;
-      key.table = table_config;
-      key.interval = interval_config;
-      key.barrier = config.barrier;
-      key.road = config.road;
-      key.body_radius = config.barrier.body_radius;
-      table = DeadlineTableCache::global().get(key, config.table_cache_dir,
-                                               build);
+    const ArtifactDiskOptions disk = artifact_disk_options(config);
+    const ArtifactMemoryBudget budget = artifact_memory_budget(config);
+    if (config.table_source == TableSource::kRollout) {
+      const auto build = [&] {
+        return std::make_unique<DeadlineTable>(table_config, *rollout_exact,
+                                               config.barrier.body_radius);
+      };
+      if (config.table_cache) {
+        RolloutTableKey key = rollout_table_key(config);
+        key.table.threads = table_config.threads;  // cosmetic; not in digest
+        RolloutTableStore::global().set_memory_budget(budget);
+        table = RolloutTableStore::global().get(key, disk, build);
+      } else {
+        table = build();
+      }
     } else {
-      table = build();
+      const auto build = [&] {
+        return std::make_unique<DeadlineTable>(table_config, exact_interval,
+                                               config.barrier.body_radius);
+      };
+      if (config.table_cache) {
+        // The key fingerprints every table-determining input — crucially
+        // the *effective* interval config with the environment_speed raise
+        // above, so worlds with distinct obstacle speeds can never share a
+        // table.
+        DeadlineTableKey key = lipschitz_table_key(config, interval_config);
+        key.table.threads = table_config.threads;
+        DeadlineTableCache::global().set_memory_budget(budget);
+        table = DeadlineTableCache::global().get(key, disk, build);
+      } else {
+        table = build();
+      }
     }
   }
   const SafeIntervalEvaluator& deadline_source =
       table ? static_cast<const SafeIntervalEvaluator&>(*table)
-            : static_cast<const SafeIntervalEvaluator&>(exact_interval);
+      : rollout_exact
+          ? static_cast<const SafeIntervalEvaluator&>(*rollout_exact)
+          : static_cast<const SafeIntervalEvaluator&>(exact_interval);
 
   // --- Control -----------------------------------------------------------
   HybridPolicy policy(config.policy, config.vehicle, master.split());

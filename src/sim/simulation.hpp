@@ -57,4 +57,14 @@ struct EpisodeResult {
 EpisodeResult run_episode(const ScenarioConfig& config,
                           EpisodeTrace* trace = nullptr);
 
+/// Content digest of the deadline table run_episode would consult for
+/// `config` — derived through the exact key construction run_episode uses
+/// (including the moving-obstacle environment_speed raise, which samples
+/// the world from `config.seed`).  0 when the episode consults no cached
+/// table (lookup table or cache off), i.e. nothing is shareable.  The
+/// sweep scheduler groups grid points by this digest so geometry-sharing
+/// siblings land warm; grouping is a scheduling hint only — a mismatch
+/// costs warmth, never correctness.
+std::uint64_t scenario_table_digest(const ScenarioConfig& config);
+
 }  // namespace seo

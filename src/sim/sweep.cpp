@@ -1,8 +1,11 @@
 #include "sim/sweep.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
 
 #include "sim/scenario_io.hpp"
+#include "sim/simulation.hpp"
 #include "util/expect.hpp"
 #include "util/thread_pool.hpp"
 
@@ -137,16 +140,54 @@ std::vector<SweepRow> run_sweep(const SweepConfig& config) {
   const std::vector<SweepPoint> points = expand_grid(config);
   std::vector<SweepRow> rows(points.size());
 
+  // Resolve every point up front (cheap config overlays) so the scheduler
+  // can see each point's deadline-table digest before any episode runs.
+  std::vector<ScenarioConfig> resolved;
+  resolved.reserve(points.size());
+  for (const auto& point : points)
+    resolved.push_back(resolve_point(config, point));
+
+  // Digest-aware scheduling: execute grid points grouped by the table
+  // digest run_episode will request, groups ordered by first appearance.
+  // Static chunking over the grouped order puts a geometry class on one
+  // worker, so the class's first episode builds (or disk-loads) the table
+  // and every sibling hits warm — instead of colliding cold shards
+  // serializing on single-flight waits.  A group split across a chunk
+  // boundary still dedups through single-flight; grouping is purely a
+  // warmth optimization.  Points with nothing shareable (digest 0) keep
+  // their own slot in the order.
+  std::vector<std::pair<std::size_t, std::size_t>> order;  // (group, index)
+  order.reserve(points.size());
+  {
+    std::unordered_map<std::uint64_t, std::size_t> group_rank;
+    std::size_t next_rank = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::uint64_t digest = scenario_table_digest(resolved[i]);
+      std::size_t rank = 0;
+      if (digest == 0) {
+        rank = next_rank++;
+      } else {
+        const auto [it, inserted] = group_rank.try_emplace(digest, next_rank);
+        if (inserted) ++next_rank;
+        rank = it->second;
+      }
+      order.emplace_back(rank, i);
+    }
+    std::sort(order.begin(), order.end());  // grid order within each group
+  }
+
   // Each grid point is an independent shard with its own slot: shards may
-  // finish in any order, but rows are indexed by grid position and each
-  // shard's experiment is internally serial, so the assembled vector is
-  // bit-identical for every thread count.
+  // finish in any order (and, above, deliberately run out of grid order),
+  // but rows are indexed by grid position and each shard's experiment is
+  // internally serial, so the assembled vector — hence every report — is
+  // bit-identical to the serial sweep for every thread count.
   const std::size_t workers = ThreadPool::resolve_threads(config.threads);
   ThreadPool::run_capped(
       0, points.size(), workers, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          const std::size_t i = order[s].second;
           ExperimentConfig experiment;
-          experiment.scenario = resolve_point(config, points[i]);
+          experiment.scenario = resolved[i];
           experiment.episodes = config.episodes;
           experiment.max_attempts = config.max_attempts;
           experiment.base_seed = config.base_seed;

@@ -2,8 +2,11 @@
 // space the paper samples only pointwise.  A sweep is (library scenarios) x
 // (axes over scenario_io keys), expanded cartesian or paired, with every
 // grid point running a full run_experiment shard.  Shards fan out across
-// the ThreadPool and land in index-addressed slots, so results are merged
-// in grid order and any thread count reproduces the serial sweep exactly
+// the ThreadPool in digest-aware order — points sharing a deadline-table
+// digest are scheduled adjacently so each geometry class is built (or
+// disk-loaded) once and its siblings always hit warm — and land in
+// index-addressed slots, so results are merged in grid order and any
+// thread count (and any schedule) reproduces the serial sweep exactly
 // (locked down by tests/test_sweep.cpp byte-identity on the reports).
 #pragma once
 

@@ -1,0 +1,671 @@
+// Generic artifact-store tests: golden digest pinning (an accidental
+// hasher or key-schema change would silently invalidate every on-disk
+// artifact — it must fail loudly here instead), LRU memory budgets under
+// single-flight contention (no use-after-evict, in-flight builds never
+// evicted), the disk tier's manifest-driven LRU GC (the artifact dir is
+// provably bounded), and cached-vs-uncached byte-identity for the CEM
+// policy-weights kind at every thread count.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_store.hpp"
+#include "core/fingerprint.hpp"
+#include "nn/cem.hpp"
+#include "nn/weights_store.hpp"
+#include "safety/table_cache.hpp"
+#include "util/expect.hpp"
+
+namespace seo {
+namespace {
+
+// --- Test artifact kind -----------------------------------------------------
+
+/// A tiny synthetic kind so store mechanics are tested without paying for
+/// table builds: the payload is an explicit string and its byte weight is
+/// the payload size, making budget arithmetic exact.
+struct BlobKey {
+  std::uint64_t id = 0;
+  std::uint64_t generation = 0;
+
+  std::uint64_t digest() const {
+    FingerprintHasher h;
+    h.mix(std::string_view("test-blob-key"));
+    h.mix(id);
+    h.mix(generation);
+    return h.digest();
+  }
+  std::string hex() const { return fingerprint_hex(digest()); }
+  bool operator==(const BlobKey& other) const {
+    return id == other.id && generation == other.generation;
+  }
+};
+
+struct Blob {
+  std::uint64_t id = 0;
+  std::string payload;
+};
+
+struct BlobTraits {
+  using Key = BlobKey;
+  using Value = Blob;
+  static const char* kind() { return "blob"; }
+  static int version() { return 1; }
+  static void serialize(const Blob& blob, std::ostream& out) {
+    out << blob.id << "\n" << blob.payload;
+  }
+  static Blob deserialize(std::istream& in) {
+    Blob blob;
+    in >> blob.id;
+    if (!in) throw ContractViolation("blob artifact: bad id");
+    in.get();  // newline
+    std::ostringstream rest;
+    rest << in.rdbuf();
+    blob.payload = rest.str();
+    return blob;
+  }
+  static void validate(const Key& key, const Blob& blob) {
+    if (blob.id != key.id)
+      throw ContractViolation("blob artifact does not match its key");
+  }
+  static std::size_t weight_bytes(const Blob& blob) {
+    return blob.payload.size();
+  }
+};
+
+using BlobStore = ArtifactStore<BlobTraits>;
+
+BlobStore::Builder blob_builder(const BlobKey& key, std::size_t bytes,
+                                std::atomic<int>* builds = nullptr) {
+  return [key, bytes, builds] {
+    if (builds != nullptr) ++*builds;
+    auto blob = std::make_unique<Blob>();
+    blob->id = key.id;
+    blob->payload.assign(bytes, static_cast<char>('a' + key.id % 26));
+    return blob;
+  };
+}
+
+/// RAII temp directory for disk-tier tests.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const std::string& tag) {
+    path = std::filesystem::temp_directory_path() /
+           ("seo_artifact_store_" + tag + "_" +
+            std::to_string(static_cast<long long>(::getpid())));
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+std::vector<std::string> dir_artifacts(const std::filesystem::path& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name != "manifest.txt") names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::uint64_t dir_bytes(const std::filesystem::path& dir) {
+  std::uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename() == "manifest.txt") continue;
+    total += entry.file_size();
+  }
+  return total;
+}
+
+// --- Golden digests ---------------------------------------------------------
+//
+// These pin the canonical hasher and every key schema to known values: a
+// change to FNV mixing, field order, or the fingerprinted field set will
+// move a digest and fail here — BEFORE it silently orphans every artifact
+// written by earlier builds.  If a change is *intentional*, bump the
+// kind's key-schema constant and re-pin.
+
+TEST(GoldenDigests, FingerprintHasherIsPinned) {
+  // Empty hasher = FNV-1a 64-bit offset basis.
+  EXPECT_EQ(FingerprintHasher{}.digest(), 14695981039346656037ull);
+  EXPECT_EQ(FingerprintHasher{}.hex(), "cbf29ce484222325");
+
+  FingerprintHasher h;
+  h.mix(std::uint64_t{1});
+  h.mix(1.5);
+  h.mix(std::string_view("seo"));
+  EXPECT_EQ(h.hex(), "9686520aeb690357");
+}
+
+TEST(GoldenDigests, DeadlineTableKeyIsPinned) {
+  EXPECT_EQ(DeadlineTableKey{}.hex(), "33e1833ba33c08b3");
+
+  DeadlineTableKey rig;  // the paper-default episode key shape
+  rig.table.max_distance = LipschitzIntervalConfig{}.sensing_range;
+  rig.body_radius = BarrierConfig{}.body_radius;
+  EXPECT_EQ(rig.hex(), "d8bfd9b31de26b8f");
+}
+
+TEST(GoldenDigests, RolloutTableKeyIsPinned) {
+  EXPECT_EQ(RolloutTableKey{}.hex(), "b78d31c20a87f449");
+}
+
+TEST(GoldenDigests, CemWeightsKeyIsPinned) {
+  nn::CemWeightsKey key;
+  key.arch.sizes = {8, 24, 24, 2};
+  key.arch.hidden_act = nn::Activation::kTanh;
+  key.arch.output_act = nn::Activation::kTanh;
+  key.seed = 7;
+  key.init_digest = 5;
+  key.objective_tag = "golden";
+  key.objective_digest = 11;
+  EXPECT_EQ(key.hex(), "c5fc66773432c020");
+}
+
+// --- Key sensitivity for the new kinds --------------------------------------
+
+TEST(RolloutTableKey, EveryContentFieldMovesTheDigest) {
+  const RolloutTableKey base{};
+  std::vector<RolloutTableKey> variants(20, base);
+  variants[0].table.distance_bins += 2;
+  variants[1].table.bearing_bins += 2;
+  variants[2].table.speed_bins += 2;
+  variants[3].table.max_distance += 1.0;
+  variants[4].table.max_speed += 1.0;
+  variants[5].table.obstacle_radius += 0.1;
+  variants[6].rollout.sensing_range += 1.0;
+  variants[7].rollout.horizon_s += 0.5;
+  variants[8].rollout.step_s += 0.001;
+  variants[9].rollout.bisection_iters += 2;
+  variants[10].model.wheelbase_front += 0.1;
+  variants[11].model.wheelbase_rear += 0.1;
+  variants[12].model.max_steer += 0.05;
+  variants[13].model.max_accel += 0.5;
+  variants[14].model.max_brake += 0.5;
+  variants[15].model.drag_coeff += 0.01;
+  variants[16].model.max_speed += 1.0;
+  variants[17].barrier.margin += 0.1;
+  variants[18].road.length += 5.0;
+  variants[19].body_radius += 0.05;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_NE(variants[i].digest(), base.digest()) << "variant " << i;
+    EXPECT_FALSE(variants[i] == base) << "variant " << i;
+  }
+  // The build-parallelism knob is an execution parameter, not content.
+  RolloutTableKey threads = base;
+  threads.table.threads = 8;
+  EXPECT_EQ(threads.digest(), base.digest());
+  EXPECT_TRUE(threads == base);
+}
+
+TEST(CemWeightsKey, ContentFieldsMoveTheDigestAndThreadsDoNot) {
+  nn::CemWeightsKey base;
+  base.arch.sizes = {4, 8, 2};
+  std::vector<nn::CemWeightsKey> variants(11, base);
+  variants[0].arch.sizes = {4, 9, 2};
+  variants[1].arch.hidden_act = nn::Activation::kRelu;
+  variants[2].arch.output_act = nn::Activation::kSigmoid;
+  variants[3].cem.population += 1;
+  variants[4].cem.elites += 1;
+  variants[5].cem.generations += 1;
+  variants[6].cem.init_stddev += 0.1;
+  variants[7].seed += 1;
+  variants[8].objective_tag = "other";
+  variants[9].objective_digest += 1;
+  variants[10].init_digest += 1;  // a different initial mean trains differently
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_NE(variants[i].digest(), base.digest()) << "variant " << i;
+    EXPECT_FALSE(variants[i] == base) << "variant " << i;
+  }
+  nn::CemWeightsKey threads = base;
+  threads.cem.threads = 8;
+  EXPECT_EQ(threads.digest(), base.digest());
+  EXPECT_TRUE(threads == base);
+}
+
+// --- In-memory LRU budget ---------------------------------------------------
+
+TEST(ArtifactStoreBudget, EntryCapEvictsLeastRecentlyUsed) {
+  BlobStore store;
+  store.set_memory_budget(ArtifactMemoryBudget{2, 0});
+  std::atomic<int> builds{0};
+
+  const BlobKey a{1, 0}, b{2, 0}, c{3, 0};
+  (void)store.get(a, blob_builder(a, 10, &builds));
+  (void)store.get(b, blob_builder(b, 10, &builds));
+  (void)store.get(a, blob_builder(a, 10, &builds));  // a is now MRU
+  (void)store.get(c, blob_builder(c, 10, &builds));  // evicts b (LRU)
+
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  EXPECT_EQ(builds.load(), 3);
+  (void)store.get(a, blob_builder(a, 10, &builds));  // still resident
+  EXPECT_EQ(builds.load(), 3);
+  (void)store.get(b, blob_builder(b, 10, &builds));  // was evicted: rebuild
+  EXPECT_EQ(builds.load(), 4);
+}
+
+TEST(ArtifactStoreBudget, ByteBudgetIsRespectedAndTracked) {
+  BlobStore store;
+  store.set_memory_budget(ArtifactMemoryBudget{0, 250});
+
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const BlobKey key{id, 0};
+    (void)store.get(key, blob_builder(key, 100));
+    EXPECT_LE(store.stats().bytes, 250u) << "after blob " << id;
+  }
+  // 100-byte blobs under a 250-byte budget: exactly two stay resident.
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().bytes, 200u);
+  EXPECT_EQ(store.stats().evictions, 3u);
+
+  // Shrinking the budget evicts immediately.
+  store.set_memory_budget(ArtifactMemoryBudget{0, 100});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().bytes, 100u);
+}
+
+TEST(ArtifactStoreBudget, EvictionNeverInvalidatesAHeldValue) {
+  BlobStore store;
+  store.set_memory_budget(ArtifactMemoryBudget{1, 0});
+  const BlobKey a{1, 0}, b{2, 0};
+  const auto held = store.get(a, blob_builder(a, 64));
+  (void)store.get(b, blob_builder(b, 64));  // evicts a's entry
+  EXPECT_EQ(store.stats().evictions, 1u);
+  // The evicted entry's value is shared-ptr owned by the caller: reading
+  // it after eviction must be safe (ASan-checked in CI).
+  EXPECT_EQ(held->payload.size(), 64u);
+  EXPECT_EQ(held->id, 1u);
+}
+
+TEST(ArtifactStoreBudget, InFlightBuildsAreNeverEvicted) {
+  BlobStore store;
+  store.set_memory_budget(ArtifactMemoryBudget{1, 0});
+  const BlobKey slow_key{10, 0};
+
+  std::atomic<bool> release{false};
+  std::atomic<int> slow_builds{0};
+  // The slow build parks until the main thread has churned the cache with
+  // enough completed entries to trigger eviction pressure.
+  std::thread slow([&] {
+    (void)store.get(slow_key, [&] {
+      ++slow_builds;
+      while (!release.load()) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+      return blob_builder(slow_key, 32)();
+    });
+  });
+  // Wait until the in-flight entry exists.
+  while (store.size() == 0) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+
+  // Churn: every completion enforces the 1-entry budget.  The in-flight
+  // entry must survive all of it.
+  for (std::uint64_t id = 20; id < 28; ++id) {
+    const BlobKey key{id, 0};
+    (void)store.get(key, blob_builder(key, 32));
+  }
+  EXPECT_GE(store.stats().evictions, 6u);
+
+  release = true;
+  slow.join();
+  EXPECT_EQ(slow_builds.load(), 1);
+  // The slow key completed and is still resident: a follow-up get hits
+  // without rebuilding (its entry was never evicted mid-flight).
+  (void)store.get(slow_key, blob_builder(slow_key, 32, &slow_builds));
+  EXPECT_EQ(slow_builds.load(), 1);
+  EXPECT_EQ(store.stats().builds, 9u);  // 8 churn + 1 slow
+
+  // Re-applying the budget with nothing in flight restores the strict cap.
+  store.set_memory_budget(ArtifactMemoryBudget{1, 0});
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ArtifactStoreBudget, EvictionRacesSingleFlightWaiters) {
+  // Waiters blocked on an in-flight build must receive the built value
+  // even when budget pressure evicts the entry the moment it completes.
+  BlobStore store;
+  store.set_memory_budget(ArtifactMemoryBudget{1, 0});
+  const BlobKey key{42, 0};
+
+  std::atomic<int> waiters_started{0};
+  std::atomic<int> builds{0};
+  constexpr int kWaiters = 4;
+  const auto slow_build = [&] {
+    ++builds;
+    while (waiters_started.load() < kWaiters)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return blob_builder(key, 128)();
+  };
+
+  std::vector<std::shared_ptr<const Blob>> results(kWaiters + 1);
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] { results[0] = store.get(key, slow_build); });
+  while (store.size() == 0) std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));
+  for (int w = 1; w <= kWaiters; ++w)
+    threads.emplace_back([&, w] {
+      ++waiters_started;
+      results[static_cast<std::size_t>(w)] = store.get(key, slow_build);
+    });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(builds.load(), 1);
+  for (const auto& blob : results) {
+    ASSERT_NE(blob, nullptr);
+    EXPECT_EQ(blob->id, 42u);
+    EXPECT_EQ(blob->payload.size(), 128u);
+  }
+  const ArtifactStoreStats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kWaiters));
+}
+
+// --- Disk tier: GC bounds the artifact dir ----------------------------------
+
+TEST(ArtifactStoreDiskGc, SizeCapEvictsOldestByLru) {
+  const TempDir dir("gc_size");
+  BlobStore store;
+  // 5 artifacts x ~300 payload bytes each, no caps while filling.
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const BlobKey key{id, 0};
+    (void)store.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                    blob_builder(key, 300));
+  }
+  ASSERT_EQ(dir_artifacts(dir.path).size(), 5u);
+
+  // Touch id=1 so it becomes disk-MRU despite being stored first.
+  {
+    BlobStore fresh;
+    const BlobKey key{1, 0};
+    (void)fresh.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                    blob_builder(key, 300));
+    EXPECT_EQ(fresh.stats().disk_loads, 1u);
+  }
+
+  // Cap at ~2 artifacts: the sweep must keep the most recently used ones —
+  // id=1 (just touched) and id=5 (last stored) — and drop 2, 3, 4.
+  const ArtifactGcResult result = artifact_store_gc(dir.str(), 700, 0.0);
+  EXPECT_EQ(result.removed, 3u);
+  EXPECT_LE(result.bytes_after, 700u);
+  auto remaining = dir_artifacts(dir.path);
+  ASSERT_EQ(remaining.size(), 2u);
+  std::vector<std::string> expected = {
+      BlobStore::artifact_name(BlobKey{1, 0}),
+      BlobStore::artifact_name(BlobKey{5, 0})};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(remaining, expected);
+  EXPECT_LE(dir_bytes(dir.path), 700u);
+
+  // The survivors still load cleanly (manifest rewrite kept them).
+  BlobStore warm;
+  (void)warm.get(BlobKey{5, 0}, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                 blob_builder(BlobKey{5, 0}, 300));
+  EXPECT_EQ(warm.stats().disk_loads, 1u);
+  EXPECT_EQ(warm.stats().builds, 0u);
+}
+
+TEST(ArtifactStoreDiskGc, StoresWithCapsKeepTheDirBounded) {
+  const TempDir dir("gc_inline");
+  BlobStore store;
+  // Fill far past the cap; every store() runs a sweep, so the dir can
+  // never exceed cap + one in-flight artifact.
+  const std::uint64_t cap = 1000;
+  for (std::uint64_t id = 1; id <= 12; ++id) {
+    const BlobKey key{id, 0};
+    (void)store.get(key, ArtifactDiskOptions{dir.str(), cap, 0.0},
+                    blob_builder(key, 300));
+    EXPECT_LE(dir_bytes(dir.path), cap + 400) << "after artifact " << id;
+  }
+  // The newest artifact always survives its own store's sweep.
+  const auto remaining = dir_artifacts(dir.path);
+  ASSERT_FALSE(remaining.empty());
+  EXPECT_TRUE(std::find(remaining.begin(), remaining.end(),
+                        BlobStore::artifact_name(BlobKey{12, 0})) !=
+              remaining.end());
+}
+
+TEST(ArtifactStoreDiskGc, AgeCapDropsStaleArtifactsButKeepsMru) {
+  const TempDir dir("gc_age");
+  BlobStore store;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const BlobKey key{id, 0};
+    (void)store.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                    blob_builder(key, 100));
+  }
+  // Backdate every manifest entry far past any cap (the manifest is the
+  // LRU/age source of truth, so tests can time-travel deterministically).
+  const std::filesystem::path manifest = dir.path / "manifest.txt";
+  {
+    std::ifstream in(manifest);
+    std::string header;
+    std::getline(in, header);
+    std::vector<std::string> lines;
+    std::uint64_t seq = 0, bytes = 0;
+    std::int64_t last_used = 0;
+    std::string file;
+    while (in >> seq >> bytes >> last_used >> file)
+      lines.push_back(std::to_string(seq) + " " + std::to_string(bytes) +
+                      " 1000 " + file);
+    std::ofstream out(manifest);
+    out << header << "\n";
+    for (const auto& line : lines) out << line << "\n";
+  }
+  const ArtifactGcResult result =
+      artifact_store_gc(dir.str(), 0, /*max_age_s=*/3600.0);
+  // Everything is ancient; the sweep keeps only the most recently used.
+  EXPECT_EQ(result.removed, 2u);
+  const auto remaining = dir_artifacts(dir.path);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0], BlobStore::artifact_name(BlobKey{3, 0}));
+}
+
+TEST(ArtifactStoreDiskGc, UnmanagedFilesAreReclaimedFirst) {
+  const TempDir dir("gc_unmanaged");
+  std::filesystem::create_directories(dir.path);
+  {
+    // A PR 4-era artifact (or any foreign debris) has no manifest entry:
+    // it must be the first thing a size-capped sweep reclaims.
+    std::ofstream out(dir.path / "dtable-v1-0123456789abcdef.txt");
+    out << std::string(500, 'x');
+  }
+  BlobStore store;
+  const BlobKey key{1, 0};
+  (void)store.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                  blob_builder(key, 100));
+  (void)artifact_store_gc(dir.str(), 200, 0.0);
+  const auto remaining = dir_artifacts(dir.path);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0], BlobStore::artifact_name(key));
+}
+
+// --- Disk round trip + corruption for the generic header --------------------
+
+TEST(ArtifactStoreDisk, RoundTripAndHeaderVerification) {
+  const TempDir dir("roundtrip");
+  const BlobKey key{7, 3};
+  BlobStore cold;
+  const auto built =
+      cold.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+               blob_builder(key, 50));
+  EXPECT_EQ(cold.stats().disk_stores, 1u);
+
+  BlobStore warm;
+  const auto loaded =
+      warm.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+               blob_builder(key, 50));
+  EXPECT_EQ(warm.stats().builds, 0u);
+  EXPECT_EQ(warm.stats().disk_loads, 1u);
+  EXPECT_EQ(loaded->payload, built->payload);
+
+  // An artifact copied under another key's address re-proves its identity
+  // via the header digest and is rejected (then healed by a rebuild).
+  const BlobKey other{8, 3};
+  std::filesystem::copy_file(dir.path / BlobStore::artifact_name(key),
+                             dir.path / BlobStore::artifact_name(other));
+  BlobStore reject;
+  const auto rebuilt =
+      reject.get(other, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                 blob_builder(other, 60));
+  EXPECT_EQ(reject.stats().disk_failures, 1u);
+  EXPECT_EQ(reject.stats().builds, 1u);
+  EXPECT_EQ(rebuilt->id, 8u);
+}
+
+// --- CEM policy-weights kind ------------------------------------------------
+
+/// Deterministic, thread-safe toy objective: peak at a fixed target.
+double toy_objective(const nn::Vector& params) {
+  double score = 0.0;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double target = 0.1 * static_cast<double>(i % 7) - 0.3;
+    const double d = params[i] - target;
+    score -= d * d;
+  }
+  return score;
+}
+
+std::string serialized(const nn::Mlp& net) {
+  std::ostringstream out;
+  net.save(out);
+  return out.str();
+}
+
+nn::CemWeightsKey toy_key(int threads) {
+  nn::CemWeightsKey key;
+  key.arch.sizes = {3, 6, 2};
+  key.arch.hidden_act = nn::Activation::kTanh;
+  key.arch.output_act = nn::Activation::kTanh;
+  key.cem.population = 16;
+  key.cem.elites = 4;
+  key.cem.generations = 6;
+  key.cem.init_stddev = 0.4;
+  key.cem.threads = threads;
+  key.seed = 99;
+  key.objective_tag = "toy-quadratic";
+  key.objective_digest = 12345;
+  // Fingerprint the exact initial mean train_toy derives (xavier from
+  // Rng(3)), the way real callers must.
+  nn::Mlp seed_net(key.arch);
+  Rng init_rng(3);
+  seed_net.init_xavier(init_rng);
+  key.init_digest = nn::fingerprint_parameters(seed_net.flatten_parameters());
+  return key;
+}
+
+std::unique_ptr<nn::Mlp> train_toy(const nn::CemWeightsKey& key) {
+  auto net = std::make_unique<nn::Mlp>(key.arch);
+  Rng init_rng(3);
+  net->init_xavier(init_rng);
+  // The toy key's init_digest must track this initialization: lock it.
+  EXPECT_EQ(nn::fingerprint_parameters(net->flatten_parameters()),
+            key.init_digest);
+  Rng cem_rng(key.seed);
+  const nn::CemResult result = nn::cem_optimize(
+      toy_objective, net->flatten_parameters(), key.cem, cem_rng);
+  net->set_parameters(result.best_parameters);
+  return net;
+}
+
+TEST(CemWeightsStore, CachedAndUncachedWeightsAreByteIdenticalAtAnyThreads) {
+  // Ground truth: a direct serial training run, bypassing the store.
+  const std::string truth = serialized(*train_toy(toy_key(1)));
+
+  for (const int threads : {1, 2, 0}) {
+    // The scoring fan-out must not change a single weight bit...
+    const nn::CemWeightsKey key = toy_key(threads);
+    EXPECT_EQ(serialized(*train_toy(key)), truth)
+        << "direct training diverged at threads=" << threads;
+    // ...and the store must hand back exactly the trained bytes, both on
+    // the cold build and on a warm in-memory hit.
+    nn::CemWeightsStore store;
+    const auto cold = store.get(key, [&] { return train_toy(key); });
+    EXPECT_EQ(serialized(*cold), truth) << "threads=" << threads;
+    const auto warm = store.get(key, [&] { return train_toy(key); });
+    EXPECT_EQ(warm.get(), cold.get());
+    EXPECT_EQ(store.stats().builds, 1u);
+  }
+}
+
+TEST(CemWeightsStore, DiskRoundTripIsByteIdentical) {
+  const TempDir dir("cemw");
+  const nn::CemWeightsKey key = toy_key(1);
+  nn::CemWeightsStore cold;
+  const auto trained = cold.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                                [&] { return train_toy(key); });
+  EXPECT_EQ(cold.stats().disk_stores, 1u);
+
+  nn::CemWeightsStore warm;
+  const auto loaded = warm.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                               [&] { return train_toy(key); });
+  EXPECT_EQ(warm.stats().builds, 0u);
+  EXPECT_EQ(warm.stats().disk_loads, 1u);
+  // The canonical serialization round-trips every double exactly: a warm
+  // load is bit-identical to the training run it replaces.
+  EXPECT_EQ(serialized(*loaded), serialized(*trained));
+}
+
+TEST(CemWeightsStore, PoisonedArtifactIsRejectedAndRebuilt) {
+  const TempDir dir("cemw_poison");
+  const nn::CemWeightsKey key = toy_key(1);
+  {
+    nn::CemWeightsStore seed_store;
+    (void)seed_store.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                         [&] { return train_toy(key); });
+  }
+  // Poison one weight to NaN, keeping the header intact.
+  const std::filesystem::path artifact =
+      dir.path / nn::CemWeightsStore::artifact_name(key);
+  std::string content;
+  {
+    std::ifstream in(artifact);
+    std::stringstream text;
+    text << in.rdbuf();
+    content = text.str();
+  }
+  content.replace(content.rfind(' ') + 1, std::string::npos, "nan\n");
+  {
+    std::ofstream out(artifact);
+    out << content;
+  }
+  nn::CemWeightsStore store;
+  const auto rebuilt = store.get(
+      key, ArtifactDiskOptions{dir.str(), 0, 0.0}, [&] { return train_toy(key); });
+  EXPECT_EQ(store.stats().disk_failures, 1u);
+  EXPECT_EQ(store.stats().builds, 1u);
+  for (const double v : rebuilt->flatten_parameters())
+    EXPECT_TRUE(std::isfinite(v));
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(ArtifactStoreRegistry, GlobalStoresReportTheirKinds) {
+  (void)DeadlineTableCache::global();
+  (void)RolloutTableStore::global();
+  (void)nn::cem_weights_store();
+  const auto rows = ArtifactStoreRegistry::global().snapshot();
+  std::vector<std::string> kinds;
+  for (const auto& row : rows) kinds.push_back(row.kind);
+  EXPECT_TRUE(std::find(kinds.begin(), kinds.end(), "dtable") != kinds.end());
+  EXPECT_TRUE(std::find(kinds.begin(), kinds.end(), "rphi") != kinds.end());
+  EXPECT_TRUE(std::find(kinds.begin(), kinds.end(), "cemw") != kinds.end());
+}
+
+}  // namespace
+}  // namespace seo

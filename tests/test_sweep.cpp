@@ -210,6 +210,70 @@ TEST(SweepTableCache, SweepBuildsEachDistinctGeometryExactlyOnce) {
   EXPECT_EQ(DeadlineTableCache::global().size(), distinct.size());
 }
 
+TEST(SweepRolloutTable, CachedReportsByteIdenticalToUncachedAcrossThreads) {
+  // The rollout-phi artifact kind must be as invisible in the results as
+  // the Lipschitz kind: a rollout-table sweep reproduces the uncached
+  // serial ground truth byte for byte at every thread count.
+  SweepConfig uncached = short_sweep();
+  uncached.scenarios = {"paper_default", "dense_field"};
+  uncached.base_overrides.emplace_back("table_source", "rollout");
+  uncached.base_overrides.emplace_back("rollout_step_ms", "10");
+  uncached.base_overrides.emplace_back("table_cache", "false");
+  uncached.threads = 1;
+  const auto truth_rows = run_sweep(uncached);
+  const std::string truth_csv = sweep_csv(uncached, truth_rows);
+  const std::string truth_json = sweep_json(uncached, truth_rows);
+
+  for (const int threads : {1, 2, 0}) {
+    RolloutTableStore::global().clear();
+    SweepConfig cached = short_sweep();
+    cached.scenarios = uncached.scenarios;
+    cached.base_overrides.emplace_back("table_source", "rollout");
+    cached.base_overrides.emplace_back("rollout_step_ms", "10");
+    cached.threads = threads;
+    const auto rows = run_sweep(cached);
+    EXPECT_EQ(sweep_csv(cached, rows), truth_csv)
+        << "cached rollout CSV diverged at threads=" << threads;
+    EXPECT_EQ(sweep_json(cached, rows), truth_json)
+        << "cached rollout JSON diverged at threads=" << threads;
+  }
+  // The cache had real work: fewer builds than episodes.
+  const ArtifactStoreStats stats = RolloutTableStore::global().stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LT(stats.builds, stats.hits + stats.misses);
+}
+
+TEST(SweepScheduling, ScenarioTableDigestReflectsShareability) {
+  ScenarioConfig config = make_scenario("paper_default");
+  const std::uint64_t lipschitz = scenario_table_digest(config);
+  EXPECT_NE(lipschitz, 0u);
+
+  // The digest is exactly the key run_episode would request.
+  DeadlineTableKey key;
+  key.table = config.table;
+  key.table.max_distance = config.interval.sensing_range;
+  key.interval = config.interval;
+  key.barrier = config.barrier;
+  key.road = config.road;
+  key.body_radius = config.barrier.body_radius;
+  EXPECT_EQ(lipschitz, key.digest());
+
+  // The rollout kind addresses a different artifact space entirely.
+  ScenarioConfig rollout = config;
+  rollout.table_source = TableSource::kRollout;
+  const std::uint64_t rphi = scenario_table_digest(rollout);
+  EXPECT_NE(rphi, 0u);
+  EXPECT_NE(rphi, lipschitz);
+
+  // Nothing shareable when the table or the cache is off.
+  ScenarioConfig no_table = config;
+  no_table.use_lookup_table = false;
+  EXPECT_EQ(scenario_table_digest(no_table), 0u);
+  ScenarioConfig no_cache = config;
+  no_cache.table_cache = false;
+  EXPECT_EQ(scenario_table_digest(no_cache), 0u);
+}
+
 TEST(SweepTableCache, NestedTableParallelismStaysByteIdentical) {
   // Regression for pools-within-pools: a scenario demanding an all-cores
   // table build (table_threads=0) inside a threaded sweep must neither

@@ -33,10 +33,12 @@ import sys
 DEFAULT_NAMES = [
     "BM_BarrierValue",
     "BM_BicycleStepRk4",
+    "BM_CemWeightsCache",
     "BM_DeadlineTableCache",
     "BM_DeadlineTableProbe",
     "BM_LipschitzInterval",
     "BM_MlpForwardWorkspace",
+    "BM_RolloutPhiCache",
     "BM_SafetyFilterPass",
 ]
 

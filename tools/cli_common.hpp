@@ -1,25 +1,22 @@
-// Small helpers shared by the CLI mains in this directory (sweep, fleet).
+// Small helpers shared by the CLI mains in this directory (sweep, fleet):
+// string splitting plus the artifact-store CLI surface — flag parsing,
+// startup GC, and the unified per-kind stats report — kept here so the two
+// CLIs (and the CI assertions grepping these exact formats) can never
+// drift apart.
 #pragma once
 
+#include <cstdlib>
+#include <iostream>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/artifact_store.hpp"
+#include "nn/weights_store.hpp"
 #include "safety/table_cache.hpp"
 
 namespace seo::cli {
-
-/// One greppable stats line for the process-wide deadline-table cache —
-/// shared so the two CLIs (and the CI assertions grepping this exact
-/// format) can never drift apart.
-inline void print_table_cache_stats(std::ostream& out) {
-  const DeadlineTableCacheStats cache = DeadlineTableCache::global().stats();
-  out << "table cache: " << cache.hits << " hits, " << cache.misses
-      << " misses, " << cache.builds << " builds, " << cache.waits
-      << " waits, " << cache.disk_loads << " disk loads, "
-      << cache.disk_stores << " disk stores, " << cache.disk_failures
-      << " disk failures\n";
-}
 
 /// Splits on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
 inline std::vector<std::string> split(const std::string& text, char sep) {
@@ -35,6 +32,134 @@ inline std::vector<std::string> split(const std::string& text, char sep) {
   }
   parts.push_back(current);
   return parts;
+}
+
+/// Usage lines for the shared artifact-store flags, spliced into each
+/// CLI's --help text.
+constexpr const char* kCacheUsage =
+    "  --table-cache on|off   content-addressed artifact reuse (default "
+    "on;\n"
+    "                         results are byte-identical either way)\n"
+    "  --table-cache-dir DIR  persist built artifacts (all kinds) in DIR\n"
+    "  --cache-budget-mb N    artifact-dir size cap [MB]; LRU GC sweeps "
+    "after stores\n"
+    "  --cache-max-age-h N    artifact last-use age cap [hours]\n"
+    "  --cache-mem-mb N       per-kind in-memory byte budget [MB]\n"
+    "  --cache-gc             LRU GC sweep over the artifact dir before "
+    "the run\n";
+
+/// Artifact-store options accumulated while parsing.
+struct CacheCliOptions {
+  std::string dir;
+  double budget_mb = 0.0;
+  double max_age_h = 0.0;
+  bool gc = false;
+};
+
+/// Consumes one shared artifact-store flag (and its value) from argv.
+/// Returns false when `argv[i]` is not a cache flag; exits with code 2 on
+/// a malformed value.  Recognized flags land in `overrides` (scenario_io
+/// keys, so they reach run_episode through the normal config path) and in
+/// `state` (for the startup GC).
+inline bool parse_cache_flag(
+    int argc, char** argv, int& i,
+    std::vector<std::pair<std::string, std::string>>& overrides,
+    CacheCliOptions& state) {
+  const std::string arg = argv[i];
+  const auto next_value = [&]() -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << arg << "\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  const auto next_double = [&]() -> std::pair<std::string, double> {
+    const std::string text = next_value();
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0.0) {
+      std::cerr << arg << " expects a non-negative number, got '" << text
+                << "'\n";
+      std::exit(2);
+    }
+    return {text, v};
+  };
+
+  if (arg == "--table-cache") {
+    const std::string value = next_value();
+    if (value != "on" && value != "off") {
+      std::cerr << "--table-cache expects on|off\n";
+      std::exit(2);
+    }
+    overrides.emplace_back("table_cache", value == "on" ? "true" : "false");
+    return true;
+  }
+  if (arg == "--table-cache-dir") {
+    state.dir = next_value();
+    overrides.emplace_back("table_cache_dir", state.dir);
+    return true;
+  }
+  if (arg == "--cache-budget-mb") {
+    const auto [text, v] = next_double();
+    state.budget_mb = v;
+    overrides.emplace_back("cache_budget_mb", text);
+    return true;
+  }
+  if (arg == "--cache-max-age-h") {
+    const auto [text, v] = next_double();
+    state.max_age_h = v;
+    overrides.emplace_back("cache_max_age_h", text);
+    return true;
+  }
+  if (arg == "--cache-mem-mb") {
+    const auto [text, v] = next_double();
+    (void)v;
+    overrides.emplace_back("cache_mem_mb", text);
+    return true;
+  }
+  if (arg == "--cache-gc") {
+    state.gc = true;
+    return true;
+  }
+  return false;
+}
+
+/// Startup GC requested via --cache-gc: one LRU sweep over the artifact
+/// dir with the configured caps, reported to stderr.
+inline void run_requested_gc(const CacheCliOptions& state) {
+  if (!state.gc) return;
+  if (state.dir.empty()) {
+    std::cerr << "--cache-gc requires --table-cache-dir\n";
+    std::exit(2);
+  }
+  const ArtifactGcResult r = artifact_store_gc(
+      state.dir,
+      state.budget_mb > 0.0
+          ? static_cast<std::uint64_t>(state.budget_mb * 1024.0 * 1024.0)
+          : 0,
+      state.max_age_h > 0.0 ? state.max_age_h * 3600.0 : 0.0);
+  std::cerr << "artifact gc: scanned " << r.scanned << " files, removed "
+            << r.removed << ", " << r.bytes_before << " -> " << r.bytes_after
+            << " bytes\n";
+}
+
+/// One greppable stats line per artifact kind for the process-wide stores.
+/// Every kind reports — also the ones this run never touched — so CI and
+/// operators always see the full picture.
+inline void print_artifact_store_stats(std::ostream& out) {
+  // Touching the global accessors guarantees each kind is registered (in
+  // this order on a fresh process) before the snapshot.
+  (void)DeadlineTableCache::global();
+  (void)RolloutTableStore::global();
+  (void)nn::cem_weights_store();
+  for (const auto& row : ArtifactStoreRegistry::global().snapshot()) {
+    const ArtifactStoreStats& s = row.stats;
+    out << "artifact store [" << row.kind << "]: " << s.hits << " hits, "
+        << s.misses << " misses, " << s.builds << " builds, " << s.waits
+        << " waits, " << s.evictions << " evictions, " << s.bytes
+        << " bytes, " << s.disk_loads << " disk loads, " << s.disk_stores
+        << " disk stores, " << s.disk_failures << " disk failures\n";
+  }
 }
 
 }  // namespace seo::cli

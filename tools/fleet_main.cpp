@@ -46,12 +46,8 @@ int usage(int code) {
          "  --seed N               base seed (default 1000)\n"
          "  --threads N            episode parallelism inside each point\n"
          "                         (1 serial, 0 all cores; default 0)\n"
-         "  --table-cache on|off   content-addressed deadline-table reuse "
-         "(default on;\n"
-         "                         results are byte-identical either way)\n"
-         "  --table-cache-dir DIR  also persist built tables as artifacts "
-         "in DIR\n"
-         "  --format csv|json      grid report format (default csv)\n"
+      << seo::cli::kCacheUsage
+      << "  --format csv|json      grid report format (default csv)\n"
          "  --output PATH          write the grid report to PATH "
          "(default stdout)\n"
          "  --vehicles-output PATH also write per-vehicle summaries (one\n"
@@ -76,6 +72,7 @@ int main(int argc, char** argv) {
   std::string format = "csv";
   std::string output;
   std::string vehicles_output;
+  seo::cli::CacheCliOptions cache;
 
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
@@ -150,16 +147,9 @@ int main(int argc, char** argv) {
       base_seed = static_cast<std::uint64_t>(seed);
     } else if (arg == "--threads") {
       threads = static_cast<int>(next_int(i));
-    } else if (arg == "--table-cache") {
-      const std::string value = next_arg(i);
-      if (value != "on" && value != "off") {
-        std::cerr << "--table-cache expects on|off\n";
-        return usage(2);
-      }
-      grid.base_overrides.emplace_back("table_cache",
-                                       value == "on" ? "true" : "false");
-    } else if (arg == "--table-cache-dir") {
-      grid.base_overrides.emplace_back("table_cache_dir", next_arg(i));
+    } else if (seo::cli::parse_cache_flag(argc, argv, i, grid.base_overrides,
+                                          cache)) {
+      // Shared artifact-store flags (cli_common.hpp).
     } else if (arg == "--format") {
       format = next_arg(i);
     } else if (arg == "--output") {
@@ -178,6 +168,7 @@ int main(int argc, char** argv) {
     if (format != "csv" && format != "json")
       throw ContractViolation("unknown fleet report format: " + format +
                               " (csv|json)");
+    seo::cli::run_requested_gc(cache);
     const std::vector<SweepPoint> points = expand_grid(grid);
 
     std::ostringstream report;
@@ -229,7 +220,7 @@ int main(int argc, char** argv) {
     }
     if (format == "json") report << "\n  }\n}\n";
 
-    seo::cli::print_table_cache_stats(std::cerr);
+    seo::cli::print_artifact_store_stats(std::cerr);
 
     if (output.empty()) {
       std::cout << report.str();

@@ -46,12 +46,8 @@ int usage(int code) {
          "  --allow-failures       aggregate failed episodes too\n"
          "  --threads N            grid shards in flight (1 serial, 0 all "
          "cores; default 0)\n"
-         "  --table-cache on|off   content-addressed deadline-table reuse "
-         "(default on;\n"
-         "                         results are byte-identical either way)\n"
-         "  --table-cache-dir DIR  also persist built tables as artifacts "
-         "in DIR\n"
-         "  --format csv|json      report format (default csv)\n"
+      << seo::cli::kCacheUsage
+      << "  --format csv|json      report format (default csv)\n"
          "  --output PATH          write the report to PATH (default "
          "stdout)\n"
          "  --smoke                CI preset: 2x2 grid over 4 scenarios on "
@@ -68,6 +64,7 @@ int main(int argc, char** argv) {
   config.threads = 0;
   std::string format = "csv";
   std::string output;
+  seo::cli::CacheCliOptions cache;
 
   // --smoke is a preset, not a terminal mode: it seeds the config before
   // the other flags are parsed, so `--smoke --episodes 10` refines the
@@ -154,16 +151,9 @@ int main(int argc, char** argv) {
       config.require_success = false;
     } else if (arg == "--threads") {
       config.threads = static_cast<int>(next_int(i));
-    } else if (arg == "--table-cache") {
-      const std::string value = next_arg(i);
-      if (value != "on" && value != "off") {
-        std::cerr << "--table-cache expects on|off\n";
-        return usage(2);
-      }
-      config.base_overrides.emplace_back("table_cache",
-                                         value == "on" ? "true" : "false");
-    } else if (arg == "--table-cache-dir") {
-      config.base_overrides.emplace_back("table_cache_dir", next_arg(i));
+    } else if (seo::cli::parse_cache_flag(argc, argv, i,
+                                          config.base_overrides, cache)) {
+      // Shared artifact-store flags (cli_common.hpp).
     } else if (arg == "--format") {
       format = next_arg(i);
     } else if (arg == "--output") {
@@ -177,10 +167,11 @@ int main(int argc, char** argv) {
   }
 
   try {
+    seo::cli::run_requested_gc(cache);
     const std::vector<SweepRow> rows = run_sweep(config);
     // Stats to stderr, never the report stream: CI asserts warm runs
     // actually hit, and operators see what a cold run cost.
-    seo::cli::print_table_cache_stats(std::cerr);
+    seo::cli::print_artifact_store_stats(std::cerr);
     std::ostringstream report;
     seo::write_sweep_report(report, format, config, rows);
     if (output.empty()) {
