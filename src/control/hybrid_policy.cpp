@@ -24,7 +24,8 @@ double HybridPolicy::desired_lateral(const PolicyObservation& obs) const {
   SEO_EXPECT(obs.road != nullptr);
   // Collect every detection in the planning window ahead.
   const double ego_x = obs.state.position.x;
-  std::vector<const Detection*> threats;
+  std::vector<const Detection*>& threats = threats_;
+  threats.clear();
   for (const auto& det : obs.detections) {
     const double dx = det.position.x - ego_x;
     if (dx >= -1.0 && dx <= config_.avoid_range) threats.push_back(&det);
@@ -36,7 +37,9 @@ double HybridPolicy::desired_lateral(const PolicyObservation& obs) const {
   // worst-case lateral separation from all threats (saturated at the
   // desired clearance), preferring lines near the centerline on ties.
   const double bound = obs.road->half_width() - config_.road_margin;
-  std::vector<double> candidates{0.0};
+  std::vector<double>& candidates = candidates_;
+  candidates.clear();
+  candidates.push_back(0.0);
   for (const auto* det : threats) {
     candidates.push_back(
         std::clamp(det->position.y + config_.lateral_clearance, -bound, bound));

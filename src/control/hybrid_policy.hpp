@@ -17,6 +17,8 @@
 // instead of oscillating like raw repulsive steering.
 #pragma once
 
+#include <vector>
+
 #include "control/policy.hpp"
 #include "dynamics/bicycle.hpp"
 #include "util/rng.hpp"
@@ -55,6 +57,11 @@ class HybridPolicy : public Policy {
   HybridPolicyConfig config_;
   BicycleParams vehicle_;
   Rng rng_;
+  // Scratch for desired_lateral, reused across ticks so the per-tick act()
+  // path performs no heap allocation in steady state.  Mutable because the
+  // planning query itself is logically const.
+  mutable std::vector<const Detection*> threats_;
+  mutable std::vector<double> candidates_;
 };
 
 }  // namespace seo

@@ -48,6 +48,7 @@
 //   };
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -72,7 +73,8 @@ namespace seo {
 /// that blocked on another caller's in-flight build (single-flight dedup);
 /// `bytes` is the current resident payload weight, not a counter.
 struct ArtifactStoreStats {
-  std::uint64_t hits = 0;
+  std::uint64_t hits = 0;  ///< includes `fast_hits`
+  std::uint64_t fast_hits = 0;  ///< hits served by the lock-free snapshot
   std::uint64_t misses = 0;
   std::uint64_t builds = 0;         ///< builder invocations actually run
   std::uint64_t waits = 0;
@@ -201,6 +203,23 @@ class ArtifactStore {
   ValuePtr get(const Key& key, const ArtifactDiskOptions& disk,
                const Builder& build) {
     const std::uint64_t d = key.digest();
+    // Read-mostly fast path: when no memory budget is configured (the
+    // default), hits are served from an immutable snapshot of the ready
+    // entries without taking the store mutex — this is what keeps a
+    // parallel experiment batch from serializing on its per-episode cache
+    // probes.  The snapshot skips the LRU touch, which only matters for
+    // eviction order, and eviction only exists under a budget — so with a
+    // budget set the fast path is disabled and every get() takes the
+    // locked path with exact LRU semantics.
+    if (fast_path_.load(std::memory_order_acquire)) {
+      if (const auto snap = std::atomic_load(&snapshot_)) {
+        const auto it = snap->find(d);
+        if (it != snap->end() && it->second.first == key) {
+          fast_hits_.fetch_add(1, std::memory_order_relaxed);
+          return it->second.second;
+        }
+      }
+    }
     std::shared_ptr<std::promise<ValuePtr>> promise;
     std::shared_future<ValuePtr> future;
     std::uint64_t epoch = 0;
@@ -262,9 +281,11 @@ class ArtifactStore {
       const auto it = entries_.find(d);
       if (it != entries_.end() && it->second.epoch == epoch) {
         it->second.in_flight = false;
+        it->second.value = value;
         it->second.bytes = Traits::weight_bytes(*value);
         stats_.bytes += it->second.bytes;
         enforce_budget_locked(d);
+        rebuild_snapshot_locked();
       }
     }
     promise->set_value(value);
@@ -275,16 +296,22 @@ class ArtifactStore {
     return get(key, ArtifactDiskOptions{}, build);
   }
 
-  /// In-memory budget; evicts immediately if already over.
+  /// In-memory budget; evicts immediately if already over.  Setting any
+  /// nonzero budget disables the lock-free hit path (eviction needs exact
+  /// LRU order); resetting to unlimited re-enables it.
   void set_memory_budget(const ArtifactMemoryBudget& budget) {
     std::lock_guard<std::mutex> lock(mutex_);
     budget_ = budget;
     enforce_budget_locked(/*protect_digest=*/0);
+    rebuild_snapshot_locked();
   }
 
   ArtifactStoreStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    ArtifactStoreStats s = stats_;
+    s.fast_hits = fast_hits_.load(std::memory_order_relaxed);
+    s.hits += s.fast_hits;
+    return s;
   }
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -298,6 +325,8 @@ class ArtifactStore {
     entries_.clear();
     lru_.clear();
     stats_ = ArtifactStoreStats{};
+    fast_hits_.store(0, std::memory_order_relaxed);
+    rebuild_snapshot_locked();
   }
 
   /// Versioned digest-addressed artifact file name for `key`.
@@ -329,7 +358,29 @@ class ArtifactStore {
     std::uint64_t epoch = 0;  ///< guards finalize against clear()/evict races
     bool in_flight = true;
     std::size_t bytes = 0;
+    ValuePtr value;  ///< set at finalize; feeds the lock-free snapshot
   };
+
+  /// Publishes an immutable digest -> (key, value) snapshot of the ready
+  /// entries for the lock-free hit path — or retracts it entirely while a
+  /// memory budget is active (eviction needs exact LRU bookkeeping, which
+  /// the fast path deliberately skips).  Called under mutex_.
+  void rebuild_snapshot_locked() {
+    const bool budgeted = budget_.max_entries > 0 || budget_.max_bytes > 0;
+    if (budgeted) {
+      fast_path_.store(false, std::memory_order_release);
+      std::atomic_store(&snapshot_, std::shared_ptr<const Snapshot>());
+      return;
+    }
+    auto snap = std::make_shared<Snapshot>();
+    snap->reserve(entries_.size());
+    for (const auto& [digest, entry] : entries_)
+      if (!entry.in_flight)
+        snap->emplace(digest, std::make_pair(entry.key, entry.value));
+    std::atomic_store(&snapshot_,
+                      std::shared_ptr<const Snapshot>(std::move(snap)));
+    fast_path_.store(true, std::memory_order_release);
+  }
 
   void erase_if_epoch(std::uint64_t digest, std::uint64_t epoch) {
     const auto it = entries_.find(digest);
@@ -422,12 +473,21 @@ class ArtifactStore {
     }
   }
 
+  /// Immutable view of the ready entries, swapped atomically on every
+  /// finalize/clear/budget change; readers hold it via shared_ptr so a
+  /// concurrent rebuild can never free a map a reader is still probing.
+  using Snapshot =
+      std::unordered_map<std::uint64_t, std::pair<Key, ValuePtr>>;
+
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  ///< most recently used first
   ArtifactMemoryBudget budget_;
   ArtifactStoreStats stats_;
   std::uint64_t epoch_counter_ = 0;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::atomic<bool> fast_path_{true};
+  std::atomic<std::uint64_t> fast_hits_{0};
 };
 
 }  // namespace seo

@@ -93,9 +93,16 @@ SeoRuntime::Directive SeoRuntime::classify(std::size_t pipeline,
 }
 
 SeoRuntime::TickReport SeoRuntime::tick() {
-  const SeoScheduler::Tick tick = scheduler_.tick(hooks_.sample_deadline);
-
   TickReport report;
+  tick_into(report);
+  return report;
+}
+
+void SeoRuntime::tick_into(TickReport& report) {
+  scheduler_.tick_into(hooks_.sample_deadline, tick_scratch_);
+  const SeoScheduler::Tick& tick = tick_scratch_;
+
+  report.directives.clear();
   report.interval_started = tick.interval_started;
   report.unconstrained = tick.unconstrained;
   report.delta_max = tick.delta_max;
@@ -122,7 +129,6 @@ SeoRuntime::TickReport SeoRuntime::tick() {
     if (tick.slots[i] == SlotKind::kNoFrame) continue;
     report.directives.push_back(classify(i, tick.slots[i], tick));
   }
-  return report;
 }
 
 bool SeoRuntime::pipeline_offload_feasible(std::size_t pipeline) const {

@@ -71,6 +71,10 @@ class SeoRuntime {
   /// Advances one base period and returns the directives to execute.
   TickReport tick();
 
+  /// `tick` into a caller-owned report (directives overwritten in place):
+  /// with a reused report the per-period decision path is allocation-free.
+  void tick_into(TickReport& report);
+
   /// Reports a completed directive; `tx_energy_j` is the radio energy of a
   /// kOffload / kApplyRemote transmission (0 otherwise).
   void record(const Directive& directive, double tx_energy_j = 0.0);
@@ -105,6 +109,7 @@ class SeoRuntime {
   SeoScheduler scheduler_;
   std::unique_ptr<OptimizationStrategy> strategy_;
   Hooks hooks_;
+  SeoScheduler::Tick tick_scratch_;  ///< reused per tick (slots buffer)
   std::vector<bool> offload_feasible_;
   int current_bucket_ = kUnconstrainedBucket;
   std::vector<PipelineTally> tallies_;

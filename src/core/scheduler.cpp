@@ -43,6 +43,13 @@ void SeoScheduler::start_interval(const DeadlineSample& sample) {
 SeoScheduler::Tick SeoScheduler::tick(
     const std::function<DeadlineSample()>& sample) {
   Tick out;
+  tick_into(sample, out);
+  return out;
+}
+
+void SeoScheduler::tick_into(const std::function<DeadlineSample()>& sample,
+                             Tick& out) {
+  out.interval_started = false;
   if (need_new_interval_) {
     start_interval(sample());
     need_new_interval_ = false;
@@ -51,7 +58,7 @@ SeoScheduler::Tick SeoScheduler::tick(
   out.unconstrained = unconstrained_;
   out.delta_max = delta_max_;
   out.interval_tick = n_;
-  out.slots.resize(deltas_.size(), SlotKind::kNoFrame);
+  out.slots.assign(deltas_.size(), SlotKind::kNoFrame);
 
   for (std::size_t i = 0; i < deltas_.size(); ++i) {
     const int delta_i = deltas_[i];
@@ -77,7 +84,6 @@ SeoScheduler::Tick SeoScheduler::tick(
     need_new_interval_ = true;
 
   ++n_;
-  return out;
 }
 
 }  // namespace seo

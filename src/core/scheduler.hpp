@@ -80,6 +80,10 @@ class SeoScheduler {
   /// interval starts (Algorithm 1's lookup-table probe on new-Delta).
   Tick tick(const std::function<DeadlineSample()>& sample);
 
+  /// `tick` into a caller-owned result: the slots vector is overwritten in
+  /// place, so a reused Tick makes the per-period path allocation-free.
+  void tick_into(const std::function<DeadlineSample()>& sample, Tick& out);
+
   std::size_t pipeline_count() const { return deltas_.size(); }
   int delta(std::size_t i) const { return deltas_[i]; }
   const Config& config() const { return config_; }

@@ -49,6 +49,26 @@ VehicleDerivative BicycleModel::derivative(const VehicleState& state,
   return d;
 }
 
+HeldControl BicycleModel::hold(const Control& u) const {
+  HeldControl h;
+  h.clamped = clamp(u);
+  h.beta = slip_angle(h.clamped.steering);
+  h.sin_beta = std::sin(h.beta);
+  return h;
+}
+
+VehicleDerivative BicycleModel::derivative(const VehicleState& state,
+                                           const HeldControl& held) const {
+  // Same operations as derivative(state, Control) after its clamp and
+  // slip-angle evaluation — beta and sin(beta) are the very doubles that
+  // call would produce (clamp is idempotent), so the outputs match bitwise.
+  VehicleDerivative d;
+  d.velocity = Vec2::from_polar(state.speed, state.heading + held.beta);
+  d.yaw_rate = state.speed / params_.wheelbase_rear * held.sin_beta;
+  d.accel = accel_command(held.clamped.throttle, state.speed);
+  return d;
+}
+
 namespace {
 /// Applies a derivative scaled by dt to a state (the RK4 building block).
 VehicleState apply(const VehicleState& s, const VehicleDerivative& d,
@@ -87,6 +107,37 @@ VehicleState BicycleModel::step_euler(const VehicleState& state,
                                       const Control& u, double dt) const {
   SEO_EXPECT(dt > 0.0);
   VehicleState out = apply(state, derivative(state, u), dt);
+  out.speed = std::clamp(out.speed, 0.0, params_.max_speed);
+  return out;
+}
+
+VehicleState BicycleModel::step(const VehicleState& state,
+                                const HeldControl& held, double dt) const {
+  SEO_EXPECT(dt > 0.0);
+  const VehicleDerivative k1 = derivative(state, held);
+  const VehicleDerivative k2 = derivative(apply(state, k1, dt * 0.5), held);
+  const VehicleDerivative k3 = derivative(apply(state, k2, dt * 0.5), held);
+  const VehicleDerivative k4 = derivative(apply(state, k3, dt), held);
+
+  VehicleDerivative blended;
+  blended.velocity =
+      (k1.velocity + 2.0 * k2.velocity + 2.0 * k3.velocity + k4.velocity) /
+      6.0;
+  blended.yaw_rate =
+      (k1.yaw_rate + 2.0 * k2.yaw_rate + 2.0 * k3.yaw_rate + k4.yaw_rate) /
+      6.0;
+  blended.accel = (k1.accel + 2.0 * k2.accel + 2.0 * k3.accel + k4.accel) / 6.0;
+
+  VehicleState out = apply(state, blended, dt);
+  out.speed = std::clamp(out.speed, 0.0, params_.max_speed);
+  return out;
+}
+
+VehicleState BicycleModel::step_euler(const VehicleState& state,
+                                      const HeldControl& held,
+                                      double dt) const {
+  SEO_EXPECT(dt > 0.0);
+  VehicleState out = apply(state, derivative(state, held), dt);
   out.speed = std::clamp(out.speed, 0.0, params_.max_speed);
   return out;
 }

@@ -27,6 +27,18 @@ struct VehicleDerivative {
   double accel = 0.0;
 };
 
+/// A control held fixed across integration steps, with the control-only
+/// derivative terms precomputed once: the clamped command, the side-slip
+/// angle beta and its sine.  Every quantity is produced by exactly the
+/// same operations `derivative()` would perform per step, so stepping with
+/// a HeldControl is bit-identical to re-deriving from the raw control —
+/// it just skips re-clamping and re-evaluating atan/tan/sin each step.
+struct HeldControl {
+  Control clamped{};
+  double beta = 0.0;
+  double sin_beta = 0.0;
+};
+
 /// Deterministic kinematic bicycle model.
 ///
 /// State evolution (side-slip form):
@@ -56,6 +68,25 @@ class BicycleModel {
   /// Advances with forward Euler — cheaper, used by the safe-interval
   /// evaluator's inner loop where thousands of short rollouts are needed.
   VehicleState step_euler(const VehicleState& state, const Control& u,
+                          double dt) const;
+
+  /// Precomputes the control-only derivative terms for a control held
+  /// fixed across a rollout (clamp, beta, sin(beta)).
+  HeldControl hold(const Control& u) const;
+
+  /// `derivative()` with the held control's precomputed terms.
+  VehicleDerivative derivative(const VehicleState& state,
+                               const HeldControl& held) const;
+
+  /// `step()` (RK4) with a held control — bit-identical, one clamp and one
+  /// slip-angle evaluation instead of four.
+  VehicleState step(const VehicleState& state, const HeldControl& held,
+                    double dt) const;
+
+  /// `step_euler()` with a held control — bit-identical; the hot variant
+  /// for safe-interval and safety-filter rollouts where one candidate
+  /// control is integrated over many steps.
+  VehicleState step_euler(const VehicleState& state, const HeldControl& held,
                           double dt) const;
 
   /// Side-slip angle beta for a (clamped) steering command.

@@ -26,10 +26,15 @@ MovingObstacleField::MovingObstacleField(std::vector<ObstacleMotion> motions)
 }
 
 ObstacleField MovingObstacleField::at(double t) const {
-  std::vector<Obstacle> obstacles;
-  obstacles.reserve(motions_.size());
-  for (const auto& m : motions_) obstacles.push_back(m.at(t));
-  return ObstacleField{std::move(obstacles)};
+  ObstacleField out;
+  at_into(t, out);
+  return out;
+}
+
+void MovingObstacleField::at_into(double t, ObstacleField& out) const {
+  out.clear();
+  out.reserve(motions_.size());
+  for (const auto& m : motions_) out.push_back(m.at(t));
 }
 
 double MovingObstacleField::max_obstacle_speed() const {

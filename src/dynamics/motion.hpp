@@ -50,6 +50,11 @@ class MovingObstacleField {
   /// Snapshot of all obstacles at absolute time t.
   ObstacleField at(double t) const;
 
+  /// Snapshot into a caller-owned field — allocation-free once the field's
+  /// capacity covers `size()`; the hot path for worlds that resample every
+  /// physics substep.
+  void at_into(double t, ObstacleField& out) const;
+
   /// Largest per-obstacle speed bound (0 when empty).
   double max_obstacle_speed() const;
 

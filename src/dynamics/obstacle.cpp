@@ -1,5 +1,6 @@
 #include "dynamics/obstacle.hpp"
 
+#include <cmath>
 #include <limits>
 
 #include "util/expect.hpp"
@@ -8,7 +9,15 @@ namespace seo {
 
 ObstacleField::ObstacleField(std::vector<Obstacle> obstacles)
     : obstacles_(std::move(obstacles)) {
-  for (const auto& o : obstacles_) SEO_EXPECT(o.radius > 0.0);
+  xs_.reserve(obstacles_.size());
+  ys_.reserve(obstacles_.size());
+  radii_.reserve(obstacles_.size());
+  for (const auto& o : obstacles_) {
+    SEO_EXPECT(o.radius > 0.0);
+    xs_.push_back(o.center.x);
+    ys_.push_back(o.center.y);
+    radii_.push_back(o.radius);
+  }
 }
 
 const Obstacle& ObstacleField::at(std::size_t i) const {
@@ -16,40 +25,80 @@ const Obstacle& ObstacleField::at(std::size_t i) const {
   return obstacles_[i];
 }
 
+void ObstacleField::clear() {
+  obstacles_.clear();
+  xs_.clear();
+  ys_.clear();
+  radii_.clear();
+}
+
+void ObstacleField::reserve(std::size_t n) {
+  obstacles_.reserve(n);
+  xs_.reserve(n);
+  ys_.reserve(n);
+  radii_.reserve(n);
+}
+
+void ObstacleField::push_back(const Obstacle& o) {
+  SEO_EXPECT(o.radius > 0.0);
+  obstacles_.push_back(o);
+  xs_.push_back(o.center.x);
+  ys_.push_back(o.center.y);
+  radii_.push_back(o.radius);
+}
+
 std::optional<NearestObstacle> ObstacleField::nearest(const Vec2& point) const {
   if (obstacles_.empty()) return std::nullopt;
-  NearestObstacle best;
+  // SoA scan; the per-index arithmetic matches the AoS formulation
+  // (distance(point, center) - radius) operation for operation, so the
+  // result is bit-identical to iterating `obstacles_`.
+  std::size_t best_i = 0;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
-    const auto& o = obstacles_[i];
-    const double d = distance(point, o.center) - o.radius;
+  const std::size_t n = xs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = point.x - xs_[i];
+    const double dy = point.y - ys_[i];
+    const double d = std::sqrt(dx * dx + dy * dy) - radii_[i];
     if (d < best_dist) {
       best_dist = d;
-      best = NearestObstacle{i, d, o.center, o.radius};
+      best_i = i;
     }
   }
-  return best;
+  return NearestObstacle{best_i, best_dist, obstacles_[best_i].center,
+                         radii_[best_i]};
 }
 
 bool ObstacleField::collides(const Vec2& point, double body_radius) const {
   SEO_EXPECT(body_radius >= 0.0);
-  for (const auto& o : obstacles_) {
-    if (distance(point, o.center) <= o.radius + body_radius) return true;
+  const std::size_t n = xs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = point.x - xs_[i];
+    const double dy = point.y - ys_[i];
+    if (std::sqrt(dx * dx + dy * dy) <= radii_[i] + body_radius) return true;
   }
   return false;
 }
 
 std::vector<NearestObstacle> ObstacleField::within(const Vec2& point,
                                                    double range) const {
-  SEO_EXPECT(range >= 0.0);
   std::vector<NearestObstacle> out;
-  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
-    const auto& o = obstacles_[i];
-    const double d = distance(point, o.center) - o.radius;
-    if (distance(point, o.center) <= range)
-      out.push_back(NearestObstacle{i, d, o.center, o.radius});
-  }
+  within_into(point, range, out);
   return out;
+}
+
+void ObstacleField::within_into(const Vec2& point, double range,
+                                std::vector<NearestObstacle>& out) const {
+  SEO_EXPECT(range >= 0.0);
+  out.clear();
+  const std::size_t n = xs_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = point.x - xs_[i];
+    const double dy = point.y - ys_[i];
+    const double center_dist = std::sqrt(dx * dx + dy * dy);
+    if (center_dist <= range)
+      out.push_back(NearestObstacle{i, center_dist - radii_[i],
+                                    obstacles_[i].center, radii_[i]});
+  }
 }
 
 }  // namespace seo

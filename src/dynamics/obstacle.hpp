@@ -1,6 +1,13 @@
 // Static obstacles and queries over them.  The paper models each obstacle's
 // "safety bound coordinates" as a sphere around the obstacle (section III-B);
 // here that is a disc in the plane.
+//
+// Storage is dual-layout: the AoS `Obstacle` vector remains the public
+// facade (construction, iteration, indexing), while parallel SoA arrays
+// (`xs/ys/radii`) feed the min-over-obstacles kernels in the safety layer —
+// contiguous same-type columns let those loops vectorize and skip the
+// struct stride.  The two layouts are maintained together by every
+// mutation, so they can never disagree.
 #pragma once
 
 #include <cstddef>
@@ -26,7 +33,10 @@ struct NearestObstacle {
   double radius = 0.0;
 };
 
-/// Immutable collection of obstacles with proximity queries.
+/// Collection of obstacles with proximity queries.  Logically immutable in
+/// most uses; the in-place mutators (`clear`/`reserve`/`push_back`) exist
+/// so per-substep rebuilds (moving-obstacle worlds) reuse capacity instead
+/// of allocating a fresh field.
 class ObstacleField {
  public:
   ObstacleField() = default;
@@ -36,6 +46,21 @@ class ObstacleField {
   bool empty() const { return obstacles_.empty(); }
   std::size_t size() const { return obstacles_.size(); }
   const Obstacle& at(std::size_t i) const;
+
+  /// SoA columns, index-aligned with `obstacles()` — the layout the barrier
+  /// and safe-interval kernels iterate.
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+  const std::vector<double>& radii() const { return radii_; }
+
+  /// Drops all obstacles, keeping capacity (both layouts).
+  void clear();
+
+  /// Pre-sizes both layouts for `n` obstacles.
+  void reserve(std::size_t n);
+
+  /// Appends one obstacle to both layouts; allocation-free within capacity.
+  void push_back(const Obstacle& o);
 
   /// Nearest obstacle to `point` by surface distance; nullopt when empty.
   std::optional<NearestObstacle> nearest(const Vec2& point) const;
@@ -47,8 +72,17 @@ class ObstacleField {
   /// footprint used to synthesize detector outputs.
   std::vector<NearestObstacle> within(const Vec2& point, double range) const;
 
+  /// `within` into a caller-owned buffer (cleared first); allocation-free
+  /// once the buffer's capacity covers the hit count.
+  void within_into(const Vec2& point, double range,
+                   std::vector<NearestObstacle>& out) const;
+
  private:
   std::vector<Obstacle> obstacles_;
+  // SoA mirrors of obstacles_ (center.x, center.y, radius per index).
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> radii_;
 };
 
 }  // namespace seo

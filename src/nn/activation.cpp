@@ -12,17 +12,23 @@ Vector apply_activation(Activation act, const Vector& pre) {
 }
 
 void apply_activation_inplace(Activation act, Vector& values) {
+  apply_activation_inplace(act, values.data(), values.size());
+}
+
+void apply_activation_inplace(Activation act, double* values, std::size_t n) {
   switch (act) {
     case Activation::kIdentity:
       break;
     case Activation::kTanh:
-      for (auto& v : values) v = std::tanh(v);
+      for (std::size_t i = 0; i < n; ++i) values[i] = std::tanh(values[i]);
       break;
     case Activation::kRelu:
-      for (auto& v : values) v = v > 0.0 ? v : 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        values[i] = values[i] > 0.0 ? values[i] : 0.0;
       break;
     case Activation::kSigmoid:
-      for (auto& v : values) v = 1.0 / (1.0 + std::exp(-v));
+      for (std::size_t i = 0; i < n; ++i)
+        values[i] = 1.0 / (1.0 + std::exp(-values[i]));
       break;
   }
 }

@@ -13,6 +13,9 @@ enum class Activation { kIdentity, kTanh, kRelu, kSigmoid };
 Vector apply_activation(Activation act, const Vector& pre);
 /// Applies the activation in place — the allocation-free control path.
 void apply_activation_inplace(Activation act, Vector& values);
+/// Raw-span form of the in-place application (batched inference applies
+/// activations over whole Matrix rows without materializing Vectors).
+void apply_activation_inplace(Activation act, double* values, std::size_t n);
 /// Elementwise derivative evaluated at the *pre-activation* values.
 Vector activation_derivative(Activation act, const Vector& pre);
 

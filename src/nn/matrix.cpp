@@ -21,6 +21,13 @@ double Matrix::at(std::size_t r, std::size_t c) const {
   return data_[r * cols_ + c];
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  SEO_EXPECT(cols > 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Vector Matrix::matvec(const Vector& x) const {
   Vector y;
   matvec_into(x, y);
@@ -36,6 +43,25 @@ void Matrix::matvec_into(const Vector& x, Vector& y) const {
     const double* row = data_.data() + r * cols_;
     for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
     y[r] = acc;
+  }
+}
+
+void Matrix::matmul_into(const Matrix& x, Matrix& y) const {
+  SEO_EXPECT(x.cols() == cols_);
+  SEO_EXPECT(&x != &y);
+  y.resize(x.rows(), rows_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* sample = x.data() + i * cols_;
+    double* out = y.data() + i * rows_;
+    // Same kernel as matvec_into per row: scalar accumulator, elements in
+    // index order — keeps every batched output bit-identical to the
+    // corresponding single-sample matvec.
+    for (std::size_t r = 0; r < rows_; ++r) {
+      double acc = 0.0;
+      const double* row = data_.data() + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * sample[c];
+      out[r] = acc;
+    }
   }
 }
 

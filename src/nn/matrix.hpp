@@ -27,11 +27,23 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  /// Reshapes to rows x cols without touching existing values beyond the
+  /// resize; allocation-free once capacity exists.  Unlike the
+  /// constructor, zero rows are allowed (an empty batch).
+  void resize(std::size_t rows, std::size_t cols);
+
   /// y = A x  (x.size() must equal cols()).
   Vector matvec(const Vector& x) const;
   /// y = A x written into `y` (resized to rows(); no allocation once `y`
   /// has capacity).  `y` must not alias `x` — the control-path variant.
   void matvec_into(const Vector& x, Vector& y) const;
+  /// Batched matvec: `x` holds one sample per ROW (x.cols() == cols()),
+  /// and `y` receives one output per row (y = x * A^T, resized to
+  /// x.rows() x rows()).  Each output row is computed with the exact
+  /// per-element accumulation order of matvec_into, so batching a set of
+  /// samples is bit-identical to calling matvec_into on each — the
+  /// invariant the batched-MLP tests lock.  `y` must not alias `x`.
+  void matmul_into(const Matrix& x, Matrix& y) const;
   /// y = A^T x (x.size() must equal rows()); used by backprop.
   Vector matvec_transposed(const Vector& x) const;
   /// In-place variant of matvec_transposed; `y` must not alias `x`.

@@ -64,6 +64,39 @@ const Vector& Mlp::forward(const Vector& input,
   return workspace.layers_.back();
 }
 
+const Matrix& MlpBatchWorkspace::pack(const std::vector<Vector>& inputs,
+                                      std::size_t width) {
+  input_.resize(inputs.size(), width);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    SEO_EXPECT(inputs[i].size() == width);
+    double* row = input_.data() + i * width;
+    for (std::size_t c = 0; c < width; ++c) row[c] = inputs[i][c];
+  }
+  return input_;
+}
+
+const Matrix& Mlp::forward_batch(const Matrix& inputs,
+                                 MlpBatchWorkspace& workspace) const {
+  SEO_EXPECT(inputs.cols() == input_size());
+  workspace.layers_.resize(weights_.size());
+  const std::size_t batch = inputs.rows();
+  const Matrix* h = &inputs;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Matrix& out = workspace.layers_[l];
+    weights_[l].matmul_into(*h, out);
+    const Vector& b = biases_[l];
+    const std::size_t width = b.size();
+    for (std::size_t i = 0; i < batch; ++i) {
+      double* row = out.data() + i * width;
+      for (std::size_t j = 0; j < width; ++j) row[j] += b[j];
+    }
+    apply_activation_inplace(layer_activation(l), out.data(),
+                             batch * width);
+    h = &out;
+  }
+  return workspace.layers_.back();
+}
+
 double Mlp::train_sample(const Vector& input, const Vector& target) {
   SEO_EXPECT(input.size() == input_size());
   SEO_EXPECT(target.size() == output_size());
@@ -181,13 +214,24 @@ double mse_loss(const Mlp& net, const std::vector<Vector>& inputs,
                 const std::vector<Vector>& targets) {
   SEO_EXPECT(inputs.size() == targets.size());
   SEO_EXPECT(!inputs.empty());
+  // One batched pass instead of N single-sample passes: all layer matmuls
+  // run over the packed dataset (better locality, one activation sweep per
+  // layer), and per-row bit-identity of forward_batch keeps the loss the
+  // exact double the per-sample loop produced.
+  MlpBatchWorkspace workspace;
+  const Matrix& out =
+      net.forward_batch(workspace.pack(inputs, net.input_size()), workspace);
+  const std::size_t width = net.output_size();
   double acc = 0.0;
-  MlpWorkspace workspace;
-  Vector diff;
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    const Vector& out = net.forward(inputs[i], workspace);
-    sub_into(out, targets[i], diff);
-    acc += dot(diff, diff);
+    SEO_EXPECT(targets[i].size() == width);
+    const double* row = out.data() + i * width;
+    double sample = 0.0;
+    for (std::size_t j = 0; j < width; ++j) {
+      const double d = row[j] - targets[i][j];
+      sample += d * d;
+    }
+    acc += sample;
   }
   return acc / static_cast<double>(inputs.size());
 }

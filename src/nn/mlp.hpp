@@ -44,6 +44,30 @@ class MlpWorkspace {
   std::vector<Vector> layers_;  ///< activation produced by each layer
 };
 
+/// Reusable per-layer batch buffers for `Mlp::forward_batch`: one Matrix of
+/// activations (one sample per row) per layer, plus the packed input batch.
+/// Same contract as MlpWorkspace — grown on first use, then allocation-free
+/// for a fixed architecture and (maximum) batch size; one per caller.
+class MlpBatchWorkspace {
+ public:
+  /// Batch output of the most recent forward_batch (one row per sample);
+  /// requires at least one forward_batch call with this workspace.
+  const Matrix& output() const {
+    SEO_EXPECT(!layers_.empty());
+    return layers_.back();
+  }
+
+  /// Packs `inputs` (all the same size) into the row-per-sample input
+  /// matrix and returns it — the convenience bridge from vector-of-Vector
+  /// datasets to forward_batch.  An empty set yields a zero-row batch.
+  const Matrix& pack(const std::vector<Vector>& inputs, std::size_t width);
+
+ private:
+  friend class Mlp;
+  Matrix input_;                ///< packed input batch (pack())
+  std::vector<Matrix> layers_;  ///< batch activation produced by each layer
+};
+
 class Mlp {
  public:
   explicit Mlp(MlpConfig config);
@@ -66,6 +90,15 @@ class Mlp {
   /// which is grown on first use and reused verbatim afterwards.  Returns
   /// `workspace.output()`, valid until the next call with that workspace.
   const Vector& forward(const Vector& input, MlpWorkspace& workspace) const;
+
+  /// Batched forward pass over `inputs` (one sample per ROW; inputs.cols()
+  /// must equal input_size(); zero rows are allowed).  Returns the batch
+  /// output, one row per sample, valid until the next call with that
+  /// workspace.  Row i is bit-identical to forward(sample i) — batching
+  /// changes memory traffic, never arithmetic — so offline evaluation can
+  /// use this path while per-tick control keeps the single-sample one.
+  const Matrix& forward_batch(const Matrix& inputs,
+                              MlpBatchWorkspace& workspace) const;
 
   /// Forward pass retaining intermediate values, followed by a backward
   /// pass accumulating gradients of 0.5*||output - target||^2.  Returns

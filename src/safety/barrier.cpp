@@ -35,9 +35,36 @@ double Barrier::value(const VehicleState& state,
 
 double Barrier::value(const VehicleState& state,
                       const ObstacleField& field) const {
+  // SoA kernel over the field's parallel arrays, bit-identical to folding
+  // the per-obstacle `value()` in index order:
+  //
+  //   h_i = clearance_i - margin * g(chi_i),   g in [1, 1 + heading_gain]
+  //
+  // Trig skip: lb_i = clearance_i - margin * (1 + heading_gain) bounds h_i
+  // from below *in floating point* — g(chi) <= 1 + heading_gain holds under
+  // rounding because every step ((1+cos)<=2 with 1+1==2 exact, *0.5 exact,
+  // monotone multiply/add) preserves the bound.  When lb_i >= running min m
+  // we have h_i >= m, so min(m, h_i) == m and the atan2/wrap/cos for this
+  // obstacle can be skipped without changing a single output bit.
+  const std::size_t n = field.size();
+  const double* xs = field.xs().data();
+  const double* ys = field.ys().data();
+  const double* radii = field.radii().data();
+  const double px = state.position.x;
+  const double py = state.position.y;
+  const double worst_g = 1.0 + config_.heading_gain;
   double h = std::numeric_limits<double>::infinity();
-  for (const auto& o : field.obstacles())
-    h = std::min(h, value(state, o));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px - xs[i];
+    const double dy = py - ys[i];
+    const double clearance =
+        std::sqrt(dx * dx + dy * dy) - radii[i] - config_.body_radius;
+    if (clearance - config_.margin * worst_g >= h) continue;
+    const double chi =
+        wrap_angle(std::atan2(ys[i] - py, xs[i] - px) - state.heading);
+    const double g = 1.0 + config_.heading_gain * (1.0 + std::cos(chi)) * 0.5;
+    h = std::min(h, clearance - config_.margin * g);
+  }
   return h;
 }
 

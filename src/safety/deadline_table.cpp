@@ -56,6 +56,11 @@ DeadlineTable::DeadlineTable(DeadlineTableConfig config,
   // bit-identical table.
   const auto build_slabs = [this, &source](std::size_t di_lo,
                                            std::size_t di_hi) {
+    // One field per slab worker, rebuilt in place per cell: the grid has
+    // tens of thousands of cells, and a fresh ObstacleField per cell would
+    // make the build allocation-bound.
+    ObstacleField field;
+    field.reserve(1);
     for (std::size_t di = di_lo; di < di_hi; ++di) {
       const double d = config_.max_distance * static_cast<double>(di) /
                        static_cast<double>(config_.distance_bins - 1);
@@ -73,9 +78,9 @@ DeadlineTable::DeadlineTable(DeadlineTableConfig config,
           // Reconstruct the obstacle whose surface clearance is exactly d.
           const double center_dist =
               d + config_.obstacle_radius + body_radius_;
-          Obstacle obstacle{Vec2::from_polar(center_dist, chi),
-                            config_.obstacle_radius};
-          const ObstacleField field({obstacle});
+          field.clear();
+          field.push_back(Obstacle{Vec2::from_polar(center_dist, chi),
+                                   config_.obstacle_radius});
           const SafeInterval si = source.evaluate(state, Control{}, field);
           // Grid points are within the domain by construction, but guard a
           // source that still reports "unconstrained" at the very edge with

@@ -22,14 +22,18 @@ SafetyFilter::SafetyFilter(SafetyFilterConfig config, BicycleModel model,
 
 SafetyFilter::RolloutEval SafetyFilter::rollout(const VehicleState& state,
                                                 const ObstacleField& field,
-                                                const Control& control) const {
+                                                const Control& control,
+                                                double h_start) const {
   RolloutEval eval;
-  eval.min_h = barrier_.value(state, field);
+  eval.min_h = h_start;
   VehicleState s = state;
+  // The candidate is held for the whole horizon: clamp and slip-angle
+  // evaluate once, each Euler step reuses them (bit-identical stepping).
+  const HeldControl held = model_.hold(control);
   const int steps =
       static_cast<int>(std::ceil(config_.horizon_s / config_.step_s));
   for (int i = 0; i < steps; ++i) {
-    s = model_.step_euler(s, control, config_.step_s);
+    s = model_.step_euler(s, held, config_.step_s);
     eval.min_h = std::min(eval.min_h, barrier_.value(s, field));
     if (road_) {
       const double margin = road_->boundary_margin(s.position);
@@ -51,7 +55,8 @@ FilterDecision SafetyFilter::filter(const VehicleState& state,
       config_.engage_margin *
       std::clamp(state.speed / config_.speed_ref, config_.min_margin_factor,
                  1.0);
-  const RolloutEval raw_eval = rollout(state, field, decision.control);
+  const RolloutEval raw_eval =
+      rollout(state, field, decision.control, decision.h_now);
   if (raw_eval.min_h >= margin_eff) {
     decision.h_predicted = raw_eval.min_h;
     return decision;  // S = 1 and staying safe: pass through.
@@ -76,7 +81,7 @@ FilterDecision SafetyFilter::filter(const VehicleState& state,
       candidate.steering = steer;
       candidate.throttle =
           brake == 0 ? decision.control.throttle : config_.brake_throttle;
-      const RolloutEval eval = rollout(state, field, candidate);
+      const RolloutEval eval = rollout(state, field, candidate, decision.h_now);
       // Prefer higher safety; keep corrections on the road; tie-break
       // toward the raw steering request so corrections are minimally
       // invasive.

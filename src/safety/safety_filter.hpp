@@ -72,9 +72,10 @@ class SafetyFilter {
   };
 
   /// Worst-case barrier value and road excursion along a rollout of
-  /// `control` held for the horizon.
+  /// `control` held for the horizon.  `h_start` is the barrier value at
+  /// `state` (already known by every caller, so it is never recomputed).
   RolloutEval rollout(const VehicleState& state, const ObstacleField& field,
-                      const Control& control) const;
+                      const Control& control, double h_start) const;
 
   SafetyFilterConfig config_;
   BicycleModel model_;

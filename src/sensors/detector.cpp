@@ -18,8 +18,16 @@ DetectionSet SyntheticDetector::detect(const VehicleState& ego,
                                        const ObstacleField& field,
                                        double frame_time) {
   DetectionSet out;
+  detect_into(ego, field, frame_time, out);
+  return out;
+}
+
+void SyntheticDetector::detect_into(const VehicleState& ego,
+                                    const ObstacleField& field,
+                                    double frame_time, DetectionSet& out) {
   out.frame_time = frame_time;
   out.valid = true;
+  out.detections.clear();
   // At most one detection per obstacle: one exact reservation instead of
   // log2(n) reallocations on this per-frame path.
   out.detections.reserve(field.obstacles().size());
@@ -39,7 +47,6 @@ DetectionSet SyntheticDetector::detect(const VehicleState& ego,
     d.range = range;
     out.detections.push_back(d);
   }
-  return out;
 }
 
 }  // namespace seo

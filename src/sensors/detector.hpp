@@ -53,6 +53,12 @@ class SyntheticDetector {
   DetectionSet detect(const VehicleState& ego, const ObstacleField& field,
                       double frame_time);
 
+  /// `detect` into a caller-owned frame (detections cleared first) —
+  /// allocation-free once the frame's capacity covers the obstacle count,
+  /// which is what the per-directive simulation loop relies on.
+  void detect_into(const VehicleState& ego, const ObstacleField& field,
+                   double frame_time, DetectionSet& out);
+
  private:
   DetectorConfig config_;
   Rng rng_;

@@ -88,6 +88,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   const std::size_t workers = ThreadPool::resolve_threads(config.threads);
 
+  // Wave buffer hoisted out of the loop: the first (largest) wave sizes it
+  // and later waves reuse the capacity, so steady-state waves perform no
+  // per-wave vector allocation.
+  std::vector<EpisodeResult> episodes;
+
   // Attempt k is fully determined by seed base_seed + k, so the batched
   // engine runs waves of independent attempts and merges them in attempt
   // order.  A wave may overshoot (episodes beyond the target finish and are
@@ -111,10 +116,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                   budget});
     const auto first_attempt = static_cast<std::uint64_t>(result.attempts);
 
-    std::vector<EpisodeResult> episodes(wave);
+    episodes.resize(wave);
     const auto run_range = [&](std::size_t lo, std::size_t hi) {
+      // One scenario copy per chunk (not per episode): only the seed
+      // differs between attempts, so the chunk worker mutates that field
+      // alone on its private copy.
+      ScenarioConfig scenario = config.scenario;
       for (std::size_t k = lo; k < hi; ++k) {
-        ScenarioConfig scenario = config.scenario;
         scenario.seed = config.base_seed + first_attempt + k;
         episodes[k] = run_episode(scenario);
       }

@@ -311,11 +311,14 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
 
   const auto max_ticks = static_cast<long long>(config.max_episode_s /
                                                 config.tau_s);
-  if (trace != nullptr) trace->reserve(static_cast<std::size_t>(max_ticks));
+  if (trace != nullptr)
+    trace->reserve_for(config.max_episode_s, config.tau_s, pipes.size());
 
   // Reused across ticks; detections are appended per tick after clear(),
-  // so steady state never reallocates.
+  // so steady state never reallocates.  The tick report's directive buffer
+  // is likewise reused via tick_into.
   PolicyObservation obs;
+  SeoRuntime::TickReport report;
 
   for (long long tick_index = 0; tick_index < max_ticks; ++tick_index) {
     now = time.seconds(tick_index);
@@ -341,11 +344,11 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
 
     // (b) Lambda'' state estimation (ground truth, as in the paper).
     x = world.state();
-    episode.min_h = std::min(episode.min_h,
-                             barrier.value(x, world.obstacles()));
+    const double h_now = barrier.value(x, world.obstacles());
+    episode.min_h = std::min(episode.min_h, h_now);
 
     // (c) SEO runtime tick: Algorithm 1 + Omega decide per-frame actions.
-    const SeoRuntime::TickReport report = runtime.tick();
+    runtime.tick_into(report);
     if (report.interval_started) {
       episode.deadline_hist.add(report.delta_max);
       // Channel probing: while infeasible, periodically transmit one frame
@@ -386,14 +389,14 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
       double tx_j = 0.0;
       switch (directive.action) {
         case FrameAction::kRunLocal:
-          pipe.latest = pipe.detector.detect(x, world.obstacles(), now);
+          pipe.detector.detect_into(x, world.obstacles(), now, pipe.latest);
           break;
         case FrameAction::kGate:
           break;  // previous output stays in Theta'
         case FrameAction::kRunScaled:
           // Cheaper model variant: fresh (noisier) outputs.
-          pipe.latest =
-              pipe.scaled_detector.detect(x, world.obstacles(), now);
+          pipe.scaled_detector.detect_into(x, world.obstacles(), now,
+                                           pipe.latest);
           break;
         case FrameAction::kOffload:
         case FrameAction::kApplyRemote: {
@@ -450,7 +453,7 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
       sample.position = x.position;
       sample.heading = x.heading;
       sample.speed = x.speed;
-      sample.barrier_h = barrier.value(x, world.obstacles());
+      sample.barrier_h = h_now;
       sample.delta_max = report.delta_max;
       sample.unconstrained = report.unconstrained;
       sample.interval_started = report.interval_started;

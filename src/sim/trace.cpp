@@ -6,6 +6,16 @@
 
 namespace seo {
 
+void EpisodeTrace::reserve_for(double max_episode_s, double tau_s,
+                               std::size_t pipelines) {
+  if (tau_s <= 0.0 || max_episode_s <= 0.0) return;
+  const auto ticks = static_cast<std::size_t>(max_episode_s / tau_s) + 1;
+  if (capture_samples_) samples_.reserve(ticks);
+  // Offload events are bounded by one submission per pipeline per tick
+  // (directives are per-pipeline, probes fire at most once per interval).
+  offloads_.reserve(ticks * std::max<std::size_t>(pipelines, 1));
+}
+
 std::string EpisodeTrace::to_csv() const {
   std::ostringstream out;
   out << "t,x,y,heading,speed,h,delta_max,unconstrained,interval_started,"

@@ -55,6 +55,12 @@ class EpisodeTrace {
     if (capture_samples_) samples_.reserve(samples);
   }
 
+  /// Pre-sizes both logs for a full episode of `max_episode_s` at base
+  /// period `tau_s` with `pipelines` optimizable pipelines: one sample per
+  /// tick, and room for the worst-case one offload per pipeline per tick —
+  /// so neither log can reallocate mid-episode.
+  void reserve_for(double max_episode_s, double tau_s, std::size_t pipelines);
+
   /// Disables the per-period sample log (the offload log stays active) —
   /// fleet experiments trace thousands of episodes and only need uplinks.
   void set_capture_samples(bool capture) { capture_samples_ = capture; }

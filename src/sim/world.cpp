@@ -31,10 +31,15 @@ void World::apply(const Control& u, double duration, int substeps) {
   if (terminal()) return;
 
   const double dt = duration / static_cast<double>(substeps);
+  // The control is held across all substeps of one apply(), so its
+  // clamp/slip-angle terms are computed once (bit-identical stepping).
+  const HeldControl held = model_.hold(u);
   for (int i = 0; i < substeps; ++i) {
-    state_ = model_.step(state_, u, dt);
+    state_ = model_.step(state_, held, dt);
     time_ += dt;
-    if (dynamic_environment()) obstacles_ = motions_.at(time_);
+    // In-place resample: reuses the field's capacity instead of building a
+    // fresh ObstacleField every substep.
+    if (dynamic_environment()) motions_.at_into(time_, obstacles_);
     if (obstacles_.collides(state_.position, body_radius_)) {
       collided_ = true;
       return;

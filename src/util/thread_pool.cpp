@@ -1,7 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "util/expect.hpp"
@@ -14,6 +14,13 @@ namespace {
 thread_local const ThreadPool* t_worker_pool = nullptr;
 }  // namespace
 
+double ThreadPoolStats::busy_fraction(double window_s,
+                                      std::size_t workers) const {
+  if (window_s <= 0.0 || workers == 0) return 0.0;
+  const double capacity = window_s * static_cast<double>(workers);
+  return std::clamp(busy_s / capacity, 0.0, 1.0);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(threads, 1);
   queues_.reserve(n);
@@ -25,27 +32,58 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
-    stop_ = true;
-  }
+  stop_.store(true, std::memory_order_relaxed);
+  // Empty critical section: any worker mid-way between evaluating the wait
+  // predicate and blocking holds sleep_mutex_, so passing through it
+  // guarantees the store above is seen before the broadcast is consumed.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
   sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::note_submitted(std::size_t count) {
+  stat_submitted_.fetch_add(count, std::memory_order_relaxed);
+  const std::size_t depth =
+      pending_.fetch_add(count, std::memory_order_relaxed) + count;
+  std::uint64_t seen = stat_max_depth_.load(std::memory_order_relaxed);
+  while (seen < depth && !stat_max_depth_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
 void ThreadPool::enqueue(std::function<void()> task) {
+  // The pending_ bump must precede the push: a worker that pops the task
+  // decrements pending_, so the opposite order could underflow the counter.
+  note_submitted(1);
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    // The push must happen under sleep_mutex_: workers evaluate their
-    // "any task queued?" wait predicate while holding it, so a push outside
-    // it could land between a worker's scan and its sleep — a lost wakeup
-    // that would strand the task until the next enqueue.
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
-    const std::size_t target = next_queue_;
-    next_queue_ = (next_queue_ + 1) % queues_.size();
     std::lock_guard<std::mutex> qlock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }  // wakeup fence
   sleep_cv_.notify_one();
+}
+
+void ThreadPool::enqueue_bulk(
+    std::size_t count,
+    const std::function<std::function<void()>(std::size_t)>& make) {
+  if (count == 0) return;
+  note_submitted(count);
+  const std::size_t nq = queues_.size();
+  const std::size_t start =
+      next_queue_.fetch_add(count, std::memory_order_relaxed) % nq;
+  // One lock per queue, not per task: queue q receives the chunks c with
+  // (start + c) % nq == q, preserving the round-robin spread.
+  for (std::size_t q = 0; q < nq; ++q) {
+    const std::size_t first = (q + nq - start) % nq;
+    if (first >= count) continue;
+    std::lock_guard<std::mutex> qlock(queues_[q]->mutex);
+    for (std::size_t c = first; c < count; c += nq)
+      queues_[q]->tasks.push_back(make(c));
+  }
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }  // wakeup fence
+  sleep_cv_.notify_all();
 }
 
 bool ThreadPool::try_pop(std::size_t worker_index,
@@ -57,6 +95,7 @@ bool ThreadPool::try_pop(std::size_t worker_index,
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -68,10 +107,26 @@ bool ThreadPool::try_pop(std::size_t worker_index,
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      stat_steals_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
   return false;
+}
+
+void ThreadPool::run_task(std::function<void()>& task, bool inline_help) {
+  const auto t0 = std::chrono::steady_clock::now();
+  task();  // packaged_task captures exceptions; plain tasks must not throw
+  const auto t1 = std::chrono::steady_clock::now();
+  stat_busy_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()),
+      std::memory_order_relaxed);
+  stat_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (inline_help)
+    stat_inline_runs_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -79,19 +134,17 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   for (;;) {
     std::function<void()> task;
     if (try_pop(worker_index, task)) {
-      task();  // packaged_task captures exceptions; plain tasks must not throw
+      run_task(task, /*inline_help=*/false);
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mutex_);
-    sleep_cv_.wait(lock, [this, worker_index] {
-      if (stop_) return true;
-      for (const auto& q : queues_) {
-        std::lock_guard<std::mutex> qlock(q->mutex);
-        if (!q->tasks.empty()) return true;
-      }
-      return false;
+    // O(1) predicate: a single atomic load, no queue scans and no queue
+    // mutexes while the whole pool decides whether to sleep.
+    sleep_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_relaxed) > 0;
     });
-    if (stop_) return;
+    if (stop_.load(std::memory_order_relaxed)) return;
   }
 }
 
@@ -120,10 +173,10 @@ void ThreadPool::parallel_for(
   auto join = std::make_shared<Join>();
   join->remaining = chunks;
 
-  for (std::size_t c = 0; c < chunks; ++c) {
+  enqueue_bulk(chunks, [&](std::size_t c) -> std::function<void()> {
     const std::size_t lo = begin + c * g;
     const std::size_t hi = std::min(end, lo + g);
-    enqueue([join, &fn, lo, hi] {
+    return [join, &fn, lo, hi] {
       try {
         fn(lo, hi);
       } catch (...) {
@@ -132,8 +185,8 @@ void ThreadPool::parallel_for(
       }
       std::lock_guard<std::mutex> lock(join->mutex);
       if (--join->remaining == 0) join->done.notify_all();
-    });
-  }
+    };
+  });
 
   // Help drain the pool while waiting: the caller works instead of idling,
   // which also guarantees progress when the caller holds the only free core.
@@ -145,7 +198,7 @@ void ThreadPool::parallel_for(
     }
     if (try_pop(0, task)) {
       t_worker_pool = this;
-      task();
+      run_task(task, /*inline_help=*/true);
       t_worker_pool = nullptr;
       task = nullptr;
     } else {
@@ -179,6 +232,28 @@ void ThreadPool::run_capped(
     return;
   }
   global().parallel_for_capped(begin, end, max_concurrency, fn);
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.submitted = stat_submitted_.load(std::memory_order_relaxed);
+  s.executed = stat_executed_.load(std::memory_order_relaxed);
+  s.steals = stat_steals_.load(std::memory_order_relaxed);
+  s.inline_runs = stat_inline_runs_.load(std::memory_order_relaxed);
+  s.max_queue_depth = stat_max_depth_.load(std::memory_order_relaxed);
+  s.busy_s = static_cast<double>(
+                 stat_busy_ns_.load(std::memory_order_relaxed)) *
+             1e-9;
+  return s;
+}
+
+void ThreadPool::reset_stats() {
+  stat_submitted_.store(0, std::memory_order_relaxed);
+  stat_executed_.store(0, std::memory_order_relaxed);
+  stat_steals_.store(0, std::memory_order_relaxed);
+  stat_inline_runs_.store(0, std::memory_order_relaxed);
+  stat_max_depth_.store(0, std::memory_order_relaxed);
+  stat_busy_ns_.store(0, std::memory_order_relaxed);
 }
 
 bool ThreadPool::on_worker_thread() { return t_worker_pool != nullptr; }

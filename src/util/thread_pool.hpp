@@ -17,10 +17,20 @@
 // the classic work-stealing discipline, here with per-deque mutexes rather
 // than a lock-free Chase-Lev deque since tasks in this codebase are
 // milliseconds, not nanoseconds.
+//
+// Sleep/wake contract: `pending_` counts queued-but-unclaimed tasks.  A
+// producer bumps it before pushing, then passes through `sleep_mutex_`
+// (empty critical section) before notifying — that fence makes the
+// increment visible to any worker that just evaluated the wait predicate
+// and is committing to sleep, so wakeups cannot be lost.  The predicate
+// itself is a single atomic load: workers never scan queues (or take queue
+// mutexes) while deciding whether to sleep.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -31,6 +41,23 @@
 #include <vector>
 
 namespace seo {
+
+/// Monotonic utilization counters for one pool, snapshotted by `stats()`.
+/// Maintained with relaxed atomics: each field is individually exact, but a
+/// snapshot taken while tasks are in flight may be internally torn by a
+/// task or two — fine for the reporting/diagnosis it exists for.
+struct ThreadPoolStats {
+  std::uint64_t submitted = 0;   ///< tasks pushed into the pool
+  std::uint64_t executed = 0;    ///< tasks run to completion (any thread)
+  std::uint64_t steals = 0;      ///< executed tasks taken from a sibling queue
+  std::uint64_t inline_runs = 0; ///< executed tasks run by a helping caller
+  std::uint64_t max_queue_depth = 0;  ///< high-water mark of pending tasks
+  double busy_s = 0.0;           ///< summed wall time spent inside tasks
+
+  /// Fraction of `window_s * workers` spent inside tasks; the utilization
+  /// number the CLIs print.  Clamped to [0, 1].
+  double busy_fraction(double window_s, std::size_t workers) const;
+};
 
 class ThreadPool {
  public:
@@ -58,7 +85,9 @@ class ThreadPool {
   /// `fn(chunk_begin, chunk_end)` across the pool, blocking until every
   /// chunk is done.  The first exception thrown by any chunk is rethrown
   /// here.  Called from inside a pool worker (nested parallelism) or with a
-  /// single-chunk range, it runs inline on the calling thread.
+  /// single-chunk range, it runs inline on the calling thread.  All chunks
+  /// are published with one bulk enqueue (single wake broadcast) rather
+  /// than per-chunk lock/notify cycles.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -93,6 +122,14 @@ class ThreadPool {
   /// literally, 0 (or negative) means "all hardware threads".
   static std::size_t resolve_threads(int requested);
 
+  /// Snapshot of the utilization counters since construction (or the last
+  /// `reset_stats()`).
+  ThreadPoolStats stats() const;
+
+  /// Zeroes the utilization counters (e.g. at the start of a timed run so
+  /// the report covers exactly that run).
+  void reset_stats();
+
  private:
   struct WorkerQueue {
     std::mutex mutex;
@@ -100,15 +137,30 @@ class ThreadPool {
   };
 
   void enqueue(std::function<void()> task);
+  /// Pushes `count` tasks produced by `make(c)` round-robin across the
+  /// worker queues, then wakes everyone once.
+  void enqueue_bulk(std::size_t count,
+                    const std::function<std::function<void()>(std::size_t)>& make);
   void worker_loop(std::size_t worker_index);
   bool try_pop(std::size_t worker_index, std::function<void()>& task);
+  void note_submitted(std::size_t count);
+  void run_task(std::function<void()>& task, bool inline_help);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
-  std::size_t next_queue_ = 0;  ///< round-robin cursor for external submits
-  bool stop_ = false;
+  std::atomic<std::size_t> next_queue_{0};  ///< round-robin cursor for submits
+  std::atomic<std::size_t> pending_{0};     ///< queued-but-unclaimed tasks
+  std::atomic<bool> stop_{false};
+
+  // Utilization counters (relaxed; see ThreadPoolStats).
+  std::atomic<std::uint64_t> stat_submitted_{0};
+  std::atomic<std::uint64_t> stat_executed_{0};
+  std::atomic<std::uint64_t> stat_steals_{0};
+  std::atomic<std::uint64_t> stat_inline_runs_{0};
+  std::atomic<std::uint64_t> stat_max_depth_{0};
+  std::atomic<std::uint64_t> stat_busy_ns_{0};
 };
 
 }  // namespace seo

@@ -241,6 +241,64 @@ TEST(CemWeightsKey, ContentFieldsMoveTheDigestAndThreadsDoNot) {
 
 // --- In-memory LRU budget ---------------------------------------------------
 
+TEST(ArtifactStoreFastPath, UnbudgetedHitsAreServedLockFreeAndCounted) {
+  BlobStore store;
+  std::atomic<int> builds{0};
+  const BlobKey a{1, 0};
+  (void)store.get(a, blob_builder(a, 16, &builds));
+  EXPECT_EQ(builds.load(), 1);
+  // Repeat hits on an unbudgeted store take the snapshot path: no rebuild,
+  // and the hit counter (which folds fast hits in) keeps advancing.
+  const auto first = store.get(a, blob_builder(a, 16, &builds));
+  const auto second = store.get(a, blob_builder(a, 16, &builds));
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(first.get(), second.get());  // same shared value, not a copy
+  const ArtifactStoreStats stats = store.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_GE(stats.fast_hits, 1u);
+  EXPECT_LE(stats.fast_hits, stats.hits);
+}
+
+TEST(ArtifactStoreFastPath, BudgetDisablesSnapshotAndKeepsExactLru) {
+  BlobStore store;
+  std::atomic<int> builds{0};
+  const BlobKey a{1, 0}, b{2, 0}, c{3, 0};
+  (void)store.get(a, blob_builder(a, 16, &builds));
+  (void)store.get(a, blob_builder(a, 16, &builds));  // a fast hit, likely
+  store.set_memory_budget(ArtifactMemoryBudget{2, 0});
+  // With a budget set, every get() must go through the locked path so the
+  // LRU order is exact — verify eviction picks the true LRU entry.
+  (void)store.get(b, blob_builder(b, 16, &builds));
+  (void)store.get(a, blob_builder(a, 16, &builds));  // a is MRU again
+  (void)store.get(c, blob_builder(c, 16, &builds));  // must evict b
+  EXPECT_EQ(builds.load(), 3);
+  (void)store.get(a, blob_builder(a, 16, &builds));  // still resident
+  EXPECT_EQ(builds.load(), 3);
+  (void)store.get(b, blob_builder(b, 16, &builds));  // evicted: rebuild
+  EXPECT_EQ(builds.load(), 4);
+  // 7 gets total: 4 misses (a, b, c, b-rebuild) and 3 hits.
+  EXPECT_EQ(store.stats().misses, 4u);
+  EXPECT_EQ(store.stats().hits, 3u);
+}
+
+TEST(ArtifactStoreFastPath, ClearResetsSnapshotAndCounters) {
+  BlobStore store;
+  const BlobKey a{7, 0};
+  (void)store.get(a, blob_builder(a, 8));
+  (void)store.get(a, blob_builder(a, 8));
+  store.clear();
+  const ArtifactStoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.fast_hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(store.size(), 0u);
+  // A post-clear get must rebuild (the snapshot was retracted with it).
+  std::atomic<int> builds{0};
+  (void)store.get(a, blob_builder(a, 8, &builds));
+  EXPECT_EQ(builds.load(), 1);
+}
+
 TEST(ArtifactStoreBudget, EntryCapEvictsLeastRecentlyUsed) {
   BlobStore store;
   store.set_memory_budget(ArtifactMemoryBudget{2, 0});

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
+#include <vector>
 
 #include "dynamics/bicycle.hpp"
 #include "dynamics/obstacle.hpp"
@@ -191,6 +193,62 @@ TEST(ObstacleField, WithinRange) {
 
 TEST(ObstacleField, RejectsNonPositiveRadius) {
   EXPECT_THROW(ObstacleField({Obstacle{{0, 0}, 0.0}}), ContractViolation);
+}
+
+TEST(ObstacleField, SoAColumnsMirrorAoSThroughEveryMutation) {
+  // The SoA columns feed the safety kernels; they must stay index-aligned
+  // with the AoS facade across construction, push_back, clear and reuse.
+  const auto check_mirror = [](const ObstacleField& f) {
+    ASSERT_EQ(f.xs().size(), f.size());
+    ASSERT_EQ(f.ys().size(), f.size());
+    ASSERT_EQ(f.radii().size(), f.size());
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      EXPECT_EQ(f.xs()[i], f.at(i).center.x);
+      EXPECT_EQ(f.ys()[i], f.at(i).center.y);
+      EXPECT_EQ(f.radii()[i], f.at(i).radius);
+    }
+  };
+  ObstacleField field({Obstacle{{1.0, 2.0}, 0.5}, Obstacle{{-3.0, 4.0}, 2.0}});
+  check_mirror(field);
+  field.push_back(Obstacle{{7.0, -1.0}, 1.25});
+  check_mirror(field);
+  field.clear();
+  EXPECT_TRUE(field.empty());
+  check_mirror(field);
+  field.reserve(4);
+  field.push_back(Obstacle{{0.25, 0.75}, 3.0});
+  check_mirror(field);
+}
+
+TEST(ObstacleField, SoAQueriesMatchAoSReferenceBitExactly) {
+  // nearest/collides/within run over the SoA columns; pin them to a plain
+  // AoS loop over obstacles() so the layout split can never drift.
+  const ObstacleField field({Obstacle{{5.0, 1.0}, 1.0},
+                             Obstacle{{-2.0, 3.0}, 0.75},
+                             Obstacle{{9.0, -4.0}, 2.5}});
+  const Vec2 probes[] = {{0.0, 0.0}, {4.0, 1.0}, {-1.0, 2.0}, {8.0, -3.0}};
+  for (const Vec2& p : probes) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      const double d = distance(p, field.at(i).center) - field.at(i).radius;
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    const auto nearest = field.nearest(p);
+    ASSERT_TRUE(nearest.has_value());
+    EXPECT_EQ(nearest->index, best);
+    EXPECT_EQ(nearest->surface_distance, best_d);
+    EXPECT_EQ(field.collides(p, 1.0), best_d <= 1.0);
+    std::vector<NearestObstacle> hits;
+    field.within_into(p, 6.0, hits);
+    std::size_t expected_hits = 0;
+    for (std::size_t i = 0; i < field.size(); ++i)
+      if (distance(p, field.at(i).center) <= 6.0) ++expected_hits;
+    EXPECT_EQ(hits.size(), expected_hits);
+  }
 }
 
 TEST(Road, ProgressClampsToRoute) {

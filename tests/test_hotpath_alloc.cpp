@@ -7,12 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "control/neural_policy.hpp"
+#include "dynamics/obstacle.hpp"
 #include "nn/matrix.hpp"
 #include "nn/mlp.hpp"
+#include "safety/barrier.hpp"
+#include "sim/world.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -68,6 +73,99 @@ TEST(HotPathAllocations, MatvecIntoReusesCapacity) {
   for (int i = 0; i < 1000; ++i) m.matvec_into(x, y);
   EXPECT_EQ(g_allocations.load() - before, 0u);
   EXPECT_DOUBLE_EQ(y[0], 4.0);
+}
+
+TEST(HotPathAllocations, MatmulIntoBatchReusesCapacity) {
+  nn::Matrix m(16, 16, 0.25);
+  nn::Matrix x;
+  x.resize(8, 16);
+  for (std::size_t i = 0; i < 8 * 16; ++i) x.data()[i] = 1.0;
+  nn::Matrix y;
+  m.matmul_into(x, y);  // warm-up sizes y
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) m.matmul_into(x, y);
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+  EXPECT_DOUBLE_EQ(y.data()[0], 4.0);
+}
+
+TEST(HotPathAllocations, MlpForwardBatchIsAllocationFreeInSteadyState) {
+  Rng rng(19);
+  nn::MlpConfig config;
+  config.sizes = {8, 24, 24, 2};
+  nn::Mlp net(config);
+  net.init_xavier(rng);
+
+  nn::Matrix inputs;
+  inputs.resize(16, 8);
+  for (std::size_t i = 0; i < 16 * 8; ++i)
+    inputs.data()[i] = rng.uniform(-1.0, 1.0);
+
+  nn::MlpBatchWorkspace workspace;
+  net.forward_batch(inputs, workspace);  // warm-up grows every layer matrix
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    const nn::Matrix& out = net.forward_batch(inputs, workspace);
+    ASSERT_EQ(out.rows(), 16u);
+    ASSERT_EQ(out.cols(), 2u);
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "Mlp::forward_batch allocated in steady state";
+}
+
+TEST(HotPathAllocations, BarrierFieldMinIsAllocationFree) {
+  ObstacleField field;
+  for (int i = 0; i < 12; ++i)
+    field.push_back(Obstacle{{5.0 + 3.0 * i, (i % 2) ? 1.5 : -1.5}, 0.8});
+  const Barrier barrier;
+  VehicleState state;
+  state.position = {0.0, 0.0};
+  state.heading = 0.05;
+  state.speed = 6.0;
+  (void)barrier.value(state, field);  // warm-up (nothing to grow)
+
+  const std::uint64_t before = g_allocations.load();
+  double h = 0.0;
+  for (int i = 0; i < 1000; ++i) h = barrier.value(state, field);
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "SoA min-over-obstacles kernel allocated";
+  EXPECT_TRUE(std::isfinite(h));
+}
+
+TEST(HotPathAllocations, ObstacleWithinIntoReusesCapacity) {
+  ObstacleField field;
+  for (int i = 0; i < 12; ++i)
+    field.push_back(Obstacle{{2.0 * i, 0.0}, 0.5});
+  std::vector<NearestObstacle> hits;
+  field.within_into({6.0, 0.0}, 10.0, hits);  // warm-up sizes the buffer
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) field.within_into({6.0, 0.0}, 10.0, hits);
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "within_into allocated with a warmed buffer";
+  EXPECT_FALSE(hits.empty());
+}
+
+TEST(HotPathAllocations, WorldApplyTickIsAllocationFreeInSteadyState) {
+  ObstacleField field;
+  field.push_back(Obstacle{{400.0, 0.0}, 1.0});  // far away: no termination
+  Road road;
+  VehicleState initial;
+  initial.position = {0.0, 0.0};
+  initial.speed = 2.0;
+  World world(road, field, BicycleModel(BicycleParams{}), initial, 0.9);
+
+  Control u;
+  u.throttle = 0.1;
+  u.steering = 0.0;
+  world.apply(u, 0.05, 4);  // warm-up
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 200; ++i) world.apply(u, 0.05, 4);
+  EXPECT_EQ(g_allocations.load() - before, 0u)
+      << "World::apply allocated in steady state";
+  EXPECT_FALSE(world.terminal());
 }
 
 TEST(HotPathAllocations, NeuralPolicyActIsAllocationFreeInSteadyState) {

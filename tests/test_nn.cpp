@@ -27,6 +27,45 @@ TEST(Matrix, MatvecKnownValues) {
   EXPECT_DOUBLE_EQ(y[1], 15.0);
 }
 
+TEST(Matrix, MatmulIntoMatchesPerColumnMatvecBitExactly) {
+  // The batched kernel must produce, per row, the exact double sequence of
+  // matvec_into — this is what lets offline evaluation batch without
+  // perturbing any golden number.
+  Rng rng(77);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}}) {
+    Matrix a(5, 9);
+    for (std::size_t r = 0; r < a.rows(); ++r)
+      for (std::size_t c = 0; c < a.cols(); ++c)
+        a.at(r, c) = rng.uniform(-2.0, 2.0);
+    Matrix x;
+    x.resize(batch, a.cols());
+    for (std::size_t i = 0; i < batch; ++i)
+      for (std::size_t c = 0; c < a.cols(); ++c)
+        x.at(i, c) = rng.uniform(-3.0, 3.0);
+    Matrix y;
+    a.matmul_into(x, y);
+    ASSERT_EQ(y.rows(), batch);
+    ASSERT_EQ(y.cols(), a.rows());
+    Vector sample(a.cols()), expected;
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t c = 0; c < a.cols(); ++c) sample[c] = x.at(i, c);
+      a.matvec_into(sample, expected);
+      for (std::size_t r = 0; r < a.rows(); ++r)
+        EXPECT_EQ(y.at(i, r), expected[r]) << "row " << i << " out " << r;
+    }
+  }
+}
+
+TEST(Matrix, MatmulIntoEmptyBatch) {
+  Matrix a(3, 4, 1.0);
+  Matrix x;
+  x.resize(0, 4);
+  Matrix y;
+  a.matmul_into(x, y);
+  EXPECT_EQ(y.rows(), 0u);
+  EXPECT_EQ(y.cols(), 3u);
+}
+
 TEST(Matrix, TransposedMatvec) {
   Matrix m(2, 3);
   double v = 1.0;
@@ -118,6 +157,64 @@ TEST(Mlp, ForwardDeterministicAndSized) {
   ASSERT_EQ(out1.size(), 2u);
   EXPECT_EQ(out1, out2);
   EXPECT_THROW(net.forward({1.0}), ContractViolation);
+}
+
+TEST(Mlp, ForwardBatchMatchesSingleSampleBitExactly) {
+  Rng rng(42);
+  Mlp net(MlpConfig{{3, 16, 8, 2}, Activation::kTanh, Activation::kSigmoid});
+  net.init_xavier(rng);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{11}}) {
+    std::vector<Vector> inputs;
+    for (std::size_t i = 0; i < batch; ++i) {
+      Vector in(net.input_size());
+      for (auto& v : in) v = rng.uniform(-2.0, 2.0);
+      inputs.push_back(in);
+    }
+    MlpBatchWorkspace batch_ws;
+    const Matrix& out =
+        net.forward_batch(batch_ws.pack(inputs, net.input_size()), batch_ws);
+    ASSERT_EQ(out.rows(), batch);
+    ASSERT_EQ(out.cols(), net.output_size());
+    MlpWorkspace single_ws;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Vector& expected = net.forward(inputs[i], single_ws);
+      for (std::size_t j = 0; j < net.output_size(); ++j)
+        EXPECT_EQ(out.at(i, j), expected[j]) << "sample " << i << " out " << j;
+    }
+  }
+}
+
+TEST(Mlp, ForwardBatchEmpty) {
+  Mlp net(MlpConfig{{3, 4, 2}, Activation::kTanh, Activation::kIdentity});
+  MlpBatchWorkspace ws;
+  const Matrix& out = net.forward_batch(ws.pack({}, net.input_size()), ws);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), net.output_size());
+}
+
+TEST(Mlp, MseLossMatchesPerSampleLoop) {
+  // mse_loss now runs the batched path; pin its value to the reference
+  // per-sample computation, bit for bit.
+  Rng rng(43);
+  Mlp net(MlpConfig{{4, 12, 3}, Activation::kRelu, Activation::kIdentity});
+  net.init_xavier(rng);
+  std::vector<Vector> inputs, targets;
+  for (std::size_t i = 0; i < 9; ++i) {
+    Vector in(4), tgt(3);
+    for (auto& v : in) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : tgt) v = rng.uniform(-1.0, 1.0);
+    inputs.push_back(in);
+    targets.push_back(tgt);
+  }
+  MlpWorkspace ws;
+  Vector diff;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    sub_into(net.forward(inputs[i], ws), targets[i], diff);
+    acc += dot(diff, diff);
+  }
+  const double expected = acc / static_cast<double>(inputs.size());
+  EXPECT_EQ(mse_loss(net, inputs, targets), expected);
 }
 
 TEST(Mlp, FlattenSetRoundTrip) {

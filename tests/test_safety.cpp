@@ -67,6 +67,88 @@ TEST(Barrier, EmptyFieldIsVacuouslySafe) {
   EXPECT_TRUE(barrier.safe(state_at(0, 0, 0, 8), ObstacleField{}));
 }
 
+TEST(Barrier, SoAFieldKernelMatchesScalarFacadeBitExactly) {
+  // The field overload runs the SoA trig-skip kernel; it must return the
+  // exact double of folding the per-obstacle AoS facade in index order —
+  // the invariant that lets the hot path use the fast kernel while goldens
+  // stay untouched.
+  Rng rng(51);
+  for (int trial = 0; trial < 40; ++trial) {
+    BarrierConfig config;
+    config.heading_gain = rng.uniform(0.0, 3.0);
+    const Barrier barrier{config};
+    const auto count = static_cast<std::size_t>(rng.uniform(1.0, 24.0));
+    ObstacleField field;
+    field.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      field.push_back(Obstacle{{rng.uniform(-40.0, 40.0),
+                                rng.uniform(-40.0, 40.0)},
+                               rng.uniform(0.3, 4.0)});
+    const VehicleState s =
+        state_at(rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0),
+                 rng.uniform(-3.0, 3.0), rng.uniform(0.0, 12.0));
+    double expected = std::numeric_limits<double>::infinity();
+    for (const auto& o : field.obstacles())
+      expected = std::min(expected, barrier.value(s, o));
+    EXPECT_EQ(barrier.value(s, field), expected) << "trial " << trial;
+  }
+}
+
+TEST(RolloutInterval, HeldControlMatchesPerStepClampBitExactly) {
+  // evaluate() holds the control once (clamp + slip angle hoisted out of
+  // the march); re-marching with the per-step Control overload must land on
+  // the same crossing time bit for bit, clamp being idempotent.
+  Rng rng(52);
+  const BicycleModel model{};
+  const Barrier barrier{BarrierConfig{}};
+  const RolloutIntervalConfig config{};
+  const RolloutSafeInterval rollout(config, model, barrier);
+  for (int trial = 0; trial < 20; ++trial) {
+    ObstacleField field;
+    const auto count = static_cast<std::size_t>(rng.uniform(1.0, 6.0));
+    for (std::size_t i = 0; i < count; ++i)
+      field.push_back(Obstacle{{rng.uniform(5.0, 30.0),
+                                rng.uniform(-6.0, 6.0)},
+                               rng.uniform(0.5, 2.0)});
+    const VehicleState s = state_at(0.0, rng.uniform(-2.0, 2.0),
+                                    rng.uniform(-0.3, 0.3),
+                                    rng.uniform(4.0, 12.0));
+    const Control u{rng.uniform(-0.2, 0.2), rng.uniform(-1.0, 1.0)};
+    const SafeInterval got = rollout.evaluate(s, u, field);
+    if (!got.constrained) continue;
+
+    // Reference: the pre-HeldControl march, stepping with the raw control.
+    double expected = config.horizon_s;
+    if (barrier.value(s, field) < 0.0) {
+      expected = 0.0;
+    } else {
+      VehicleState prev = s;
+      double t = 0.0;
+      bool crossed = false;
+      while (t < config.horizon_s) {
+        const VehicleState next = model.step_euler(prev, u, config.step_s);
+        if (barrier.value(next, field) < 0.0) {
+          double lo = 0.0, hi = config.step_s;
+          for (int i = 0; i < config.bisection_iters; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            if (barrier.value(model.step_euler(prev, u, mid), field) < 0.0)
+              hi = mid;
+            else
+              lo = mid;
+          }
+          expected = t + lo;
+          crossed = true;
+          break;
+        }
+        prev = next;
+        t += config.step_s;
+      }
+      if (!crossed) expected = config.horizon_s;
+    }
+    EXPECT_EQ(got.delta_max_s, expected) << "trial " << trial;
+  }
+}
+
 TEST(Barrier, SafeIffNonNegative) {
   const Barrier barrier{BarrierConfig{}};
   const ObstacleField field({Obstacle{{4.0, 0.0}, 1.0}});

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "nn/cem.hpp"
@@ -104,6 +106,63 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
     }
   });
   EXPECT_EQ(total.load(), 32);
+}
+
+// The executed/busy counters are bumped after a task's result is published,
+// so a caller returning from get()/parallel_for can observe them mid-update;
+// wait for the bookkeeping to drain before asserting exact counts.
+ThreadPoolStats drained_stats(const ThreadPool& pool) {
+  ThreadPoolStats stats = pool.stats();
+  for (int i = 0; i < 2000 && stats.executed < stats.submitted; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = pool.stats();
+  }
+  return stats;
+}
+
+TEST(ThreadPool, StatsCountSubmittedAndExecuted) {
+  ThreadPool pool(2);
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::future<int>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit([i] { return static_cast<int>(i); }));
+  for (auto& f : futures) f.get();
+  const ThreadPoolStats stats = drained_stats(pool);
+  EXPECT_EQ(stats.submitted, kTasks);
+  EXPECT_EQ(stats.executed, kTasks);
+  EXPECT_GE(stats.max_queue_depth, 1u);
+  EXPECT_GE(stats.busy_s, 0.0);
+}
+
+TEST(ThreadPool, StatsCountParallelForChunksAndReset) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  pool.parallel_for(0, 100, 4, [&](std::size_t lo, std::size_t hi) {
+    hits.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(hits.load(), 100);
+  ThreadPoolStats stats = drained_stats(pool);
+  EXPECT_GT(stats.submitted, 0u);
+  // Every chunk ran somewhere: a worker's own queue, a steal, or inline in
+  // the waiting caller — executed accounts for all of them.
+  EXPECT_EQ(stats.executed, stats.submitted);
+  pool.reset_stats();
+  stats = pool.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.inline_runs, 0u);
+  EXPECT_EQ(stats.max_queue_depth, 0u);
+  EXPECT_EQ(stats.busy_s, 0.0);
+}
+
+TEST(ThreadPool, BusyFractionClampsAndScales) {
+  ThreadPoolStats stats;
+  stats.busy_s = 1.0;
+  EXPECT_DOUBLE_EQ(stats.busy_fraction(2.0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(stats.busy_fraction(0.25, 2), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(stats.busy_fraction(0.0, 4), 0.0);   // degenerate window
 }
 
 TEST(ThreadPool, ResolveThreadsMapsKnobToWorkerCount) {

@@ -23,6 +23,17 @@ artifact (same runner class) restores the tight gate.
 
 Both files are in the repo's BENCH_hotpaths.json shape (see
 tools/bench_to_json.py): {"benchmarks": {name: {real_time, time_unit}}}.
+
+Scaling gate: besides absolute regressions, the gate asserts that episode
+throughput actually scales — the threads:8 variants of the threaded
+benchmarks must run in at most a fixed fraction of their threads:1 real
+time (default: 0.6x for BM_ExperimentBatch, 0.75x for
+BM_DeadlineTableBuild).  The ratio is taken WITHIN the fresh file, so it
+is machine-independent; it is only meaningful on a multicore host, so the
+assertion is skipped (with a note) when the fresh run's machine has fewer
+than --min-scaling-cpus CPUs (default 4 — the committed baseline from a
+1-CPU container records flat ratios, CI's 4-vCPU runners enforce real
+ones).  Disable explicitly with --no-scaling.
 """
 import argparse
 import json
@@ -42,6 +53,14 @@ DEFAULT_NAMES = [
     "BM_SafetyFilterPass",
 ]
 
+# Parallel-vs-serial speedup assertions checked within the fresh file:
+# (parallel benchmark, serial benchmark, max allowed real_time ratio).
+DEFAULT_SCALING = [
+    ("BM_ExperimentBatch/threads:8", "BM_ExperimentBatch/threads:1", 0.60),
+    ("BM_DeadlineTableBuild/threads:8", "BM_DeadlineTableBuild/threads:1",
+     0.75),
+]
+
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
@@ -57,6 +76,46 @@ def same_machine_class(fresh_ctx: dict, baseline_ctx: dict) -> bool:
     return all(fresh_ctx.get(k) == baseline_ctx.get(k) for k in keys)
 
 
+def check_scaling(args, fresh: dict, fresh_ctx: dict) -> list:
+    """Asserts parallel/serial real_time ratios within the fresh file."""
+    if args.no_scaling or not args.scaling:
+        return []
+    num_cpus = fresh_ctx.get("num_cpus") or 0
+    if num_cpus < args.min_scaling_cpus:
+        print(f"note: fresh machine has {num_cpus} CPU(s) < "
+              f"{args.min_scaling_cpus}; parallel speedup is not observable "
+              f"here — skipping the scaling assertions (CI's multicore "
+              f"runners enforce them).")
+        return []
+    failures = []
+    print("\nscaling (within fresh file):")
+    for spec in args.scaling.split(";"):
+        parts = spec.split("|")
+        if len(parts) != 3:
+            failures.append(f"bad --scaling spec {spec!r} "
+                            f"(want parallel|serial|max_ratio)")
+            continue
+        par_name, ser_name = parts[0], parts[1]
+        max_ratio = float(parts[2])
+        missing = [n for n in (par_name, ser_name) if n not in fresh]
+        if missing:
+            failures.append(f"scaling {par_name}: missing "
+                            f"{', '.join(missing)} from fresh results")
+            continue
+        par_ns = real_time_ns(fresh[par_name])
+        ser_ns = real_time_ns(fresh[ser_name])
+        ratio = par_ns / ser_ns
+        flag = ""
+        if ratio > max_ratio:
+            failures.append(f"{par_name}: {ratio:.2f}x of {ser_name} "
+                            f"(limit {max_ratio:.2f}x — parallel speedup "
+                            f"regressed)")
+            flag = "  << NO SCALING"
+        print(f"  {par_name} / {ser_name} = {ratio:.2f}x "
+              f"(limit {max_ratio:.2f}x){flag}")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh", help="freshly produced BENCH_hotpaths.json")
@@ -70,6 +129,16 @@ def main() -> int:
                              "(default 4.0)")
     parser.add_argument("--names", default=",".join(DEFAULT_NAMES),
                         help="comma-separated benchmark names to gate")
+    parser.add_argument("--scaling",
+                        default=";".join(f"{p}|{s}|{r}"
+                                         for p, s, r in DEFAULT_SCALING),
+                        help="semicolon-separated parallel|serial|max_ratio "
+                             "assertions checked within the fresh file")
+    parser.add_argument("--no-scaling", action="store_true",
+                        help="skip the scaling assertions entirely")
+    parser.add_argument("--min-scaling-cpus", type=int, default=4,
+                        help="skip scaling assertions when the fresh "
+                             "machine has fewer CPUs than this (default 4)")
     args = parser.parse_args()
 
     with open(args.fresh) as f:
@@ -97,8 +166,10 @@ def main() -> int:
 
     names = [n for n in args.names.split(",") if n]
     failures = []
-    width = max(len(n) for n in names)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  delta")
+    width = max((len(n) for n in names), default=9)
+    if names:
+        print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  "
+              f"delta")
     for name in names:
         if name not in baseline:
             failures.append(f"{name}: missing from baseline")
@@ -118,6 +189,8 @@ def main() -> int:
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {base_ns:>10.1f}ns  {fresh_ns:>10.1f}ns  "
               f"{delta:+7.1%}{flag}")
+
+    failures += check_scaling(args, fresh, fresh_ctx)
 
     if failures:
         print(f"\nbench gate FAILED ({len(failures)}):", file=sys.stderr)

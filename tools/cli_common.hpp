@@ -5,6 +5,7 @@
 // drift apart.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <ostream>
@@ -15,6 +16,7 @@
 #include "core/artifact_store.hpp"
 #include "nn/weights_store.hpp"
 #include "safety/table_cache.hpp"
+#include "util/thread_pool.hpp"
 
 namespace seo::cli {
 
@@ -160,6 +162,20 @@ inline void print_artifact_store_stats(std::ostream& out) {
         << " bytes, " << s.disk_loads << " disk loads, " << s.disk_stores
         << " disk stores, " << s.disk_failures << " disk failures\n";
   }
+}
+
+/// One greppable utilization line for the global thread pool, matching the
+/// artifact-store stats format (`--stats` in the sweep/fleet CLIs).
+/// `window_s` is the wall time the run took; busy % is task time over
+/// worker capacity in that window.
+inline void print_thread_pool_stats(std::ostream& out, double window_s) {
+  const ThreadPool& pool = ThreadPool::global();
+  const ThreadPoolStats s = pool.stats();
+  const double busy_pct = 100.0 * s.busy_fraction(window_s, pool.size());
+  out << "thread pool: " << pool.size() << " workers, " << s.submitted
+      << " tasks, " << s.steals << " steals, " << s.inline_runs
+      << " inline, " << s.max_queue_depth << " max depth, "
+      << static_cast<std::uint64_t>(busy_pct + 0.5) << "% busy\n";
 }
 
 }  // namespace seo::cli

@@ -13,6 +13,7 @@
 // point uses the thread pool; grid points themselves run serially, so the
 // report is byte-identical for every --threads value (locked by
 // tests/test_fleet.cpp and the CI smoke step).
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,6 +47,8 @@ int usage(int code) {
          "  --seed N               base seed (default 1000)\n"
          "  --threads N            episode parallelism inside each point\n"
          "                         (1 serial, 0 all cores; default 0)\n"
+         "  --stats                print a thread-pool utilization line to "
+         "stderr\n"
       << seo::cli::kCacheUsage
       << "  --format csv|json      grid report format (default csv)\n"
          "  --output PATH          write the grid report to PATH "
@@ -81,6 +84,7 @@ int main(int argc, char** argv) {
   // workload the test suite's golden fingerprints pin.
   if (smoke) grid = fleet_smoke_sweep();
   bool user_axes = false;  // the first user --axis replaces preset axes
+  bool show_pool_stats = false;
 
   const auto next_arg = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
@@ -147,6 +151,8 @@ int main(int argc, char** argv) {
       base_seed = static_cast<std::uint64_t>(seed);
     } else if (arg == "--threads") {
       threads = static_cast<int>(next_int(i));
+    } else if (arg == "--stats") {
+      show_pool_stats = true;
     } else if (seo::cli::parse_cache_flag(argc, argv, i, grid.base_overrides,
                                           cache)) {
       // Shared artifact-store flags (cli_common.hpp).
@@ -170,6 +176,7 @@ int main(int argc, char** argv) {
                               " (csv|json)");
     seo::cli::run_requested_gc(cache);
     const std::vector<SweepPoint> points = expand_grid(grid);
+    const auto run_start = std::chrono::steady_clock::now();
 
     std::ostringstream report;
     std::ostringstream vehicles_report;
@@ -221,6 +228,13 @@ int main(int argc, char** argv) {
     if (format == "json") report << "\n  }\n}\n";
 
     seo::cli::print_artifact_store_stats(std::cerr);
+    if (show_pool_stats) {
+      const double run_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        run_start)
+              .count();
+      seo::cli::print_thread_pool_stats(std::cerr, run_s);
+    }
 
     if (output.empty()) {
       std::cout << report.str();

@@ -9,6 +9,7 @@
 // Every grid point = library scenario + axis overrides, run through the
 // full experiment harness.  Output (csv|json) is identical for every
 // --threads value; see tests/test_sweep.cpp.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,6 +47,8 @@ int usage(int code) {
          "  --allow-failures       aggregate failed episodes too\n"
          "  --threads N            grid shards in flight (1 serial, 0 all "
          "cores; default 0)\n"
+         "  --stats                print a thread-pool utilization line to "
+         "stderr\n"
       << seo::cli::kCacheUsage
       << "  --format csv|json      report format (default csv)\n"
          "  --output PATH          write the report to PATH (default "
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
     config.threads = 0;
   }
   bool user_axes = false;  // the first user --axis replaces preset axes
+  bool show_pool_stats = false;
 
   const auto next_arg = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
@@ -151,6 +155,8 @@ int main(int argc, char** argv) {
       config.require_success = false;
     } else if (arg == "--threads") {
       config.threads = static_cast<int>(next_int(i));
+    } else if (arg == "--stats") {
+      show_pool_stats = true;
     } else if (seo::cli::parse_cache_flag(argc, argv, i,
                                           config.base_overrides, cache)) {
       // Shared artifact-store flags (cli_common.hpp).
@@ -168,10 +174,16 @@ int main(int argc, char** argv) {
 
   try {
     seo::cli::run_requested_gc(cache);
+    const auto run_start = std::chrono::steady_clock::now();
     const std::vector<SweepRow> rows = run_sweep(config);
+    const double run_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start)
+            .count();
     // Stats to stderr, never the report stream: CI asserts warm runs
     // actually hit, and operators see what a cold run cost.
     seo::cli::print_artifact_store_stats(std::cerr);
+    if (show_pool_stats) seo::cli::print_thread_pool_stats(std::cerr, run_s);
     std::ostringstream report;
     seo::write_sweep_report(report, format, config, rows);
     if (output.empty()) {
