@@ -5,6 +5,10 @@
 // T(x,u) is precisely that probing is cheap relative to evaluating phi.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <sstream>
+#include <string>
+
 #include "control/hybrid_policy.hpp"
 #include "control/neural_policy.hpp"
 #include "dynamics/bicycle.hpp"
@@ -19,6 +23,7 @@
 #include "sim/experiment.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sweep.hpp"
+#include "sim/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -390,6 +395,80 @@ BENCHMARK(BM_SweepRolloutTableCache)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// A realistic streamed episode: smoke-route length sample log plus a
+// modest offload stream — the unit of work both the sweep trace tap
+// (serialize) and the stage tools (parse + verify) pay per episode.
+EpisodeTrace bench_trace() {
+  EpisodeTrace trace;
+  for (int i = 0; i < 600; ++i) {
+    TraceSample s;
+    s.t = 0.02 * i;
+    s.position = {0.12 * i, 0.01 * i};
+    s.heading = 0.001 * i;
+    s.speed = 6.0 + 0.001 * i;
+    s.barrier_h = 5.0 - 0.002 * i;
+    s.delta_max = i % 4 + 1;
+    s.interval_started = i % 5 == 0;
+    s.filter_engaged = i % 7 == 0;
+    s.steering = -0.1 + 0.0001 * i;
+    s.throttle = 0.8;
+    s.detection_age_s = 0.04;
+    trace.add(s);
+  }
+  for (int i = 0; i < 40; ++i) {
+    OffloadEvent e;
+    e.pipeline = static_cast<std::size_t>(i % 2);
+    e.submit_s = 0.3 * i;
+    e.bytes = 24576.0;
+    e.tx_time_s = 0.004;
+    e.deadline_s = 0.3 * i + 0.5;
+    e.probe = i % 3 == 0;
+    trace.add_offload(e);
+  }
+  return trace;
+}
+
+void BM_TraceStreamWrite(benchmark::State& state) {
+  const EpisodeTrace trace = bench_trace();
+  TraceEpisodeInfo info;
+  info.seed = 1000;
+  info.label = "paper_default channel_mbps=8";
+  const TraceEpisodeSummary summary{};
+  std::string block;
+  for (auto _ : state) {
+    block.clear();  // reuse capacity, like the sweep's per-point block
+    append_trace_episode(block, info, summary, trace);
+    benchmark::DoNotOptimize(block.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block.size()));
+}
+BENCHMARK(BM_TraceStreamWrite)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceStreamRead(benchmark::State& state) {
+  const EpisodeTrace trace = bench_trace();
+  TraceEpisodeInfo info;
+  info.seed = 1000;
+  info.label = "paper_default channel_mbps=8";
+  std::ostringstream out;
+  TraceStreamWriter writer(out);
+  writer.write_episode(info, TraceEpisodeSummary{}, trace);
+  writer.finish();
+  const std::string bytes = out.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    TraceStreamReader reader(in);
+    TraceRecord record;
+    std::uint64_t samples = 0;
+    while (reader.next(record))
+      if (record.type == TraceRecord::Type::kSample) ++samples;
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_TraceStreamRead)->Unit(benchmark::kMicrosecond);
 
 void BM_FullEpisode(benchmark::State& state) {
   ScenarioConfig config = default_scenario();

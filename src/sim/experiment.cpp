@@ -90,8 +90,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // Wave buffer hoisted out of the loop: the first (largest) wave sizes it
   // and later waves reuse the capacity, so steady-state waves perform no
-  // per-wave vector allocation.
+  // per-wave vector allocation.  The trace slots (only populated when a
+  // tap is attached) are reused the same way — clear() keeps capacity, so
+  // steady-state traced waves record without allocating either.
   std::vector<EpisodeResult> episodes;
+  std::vector<EpisodeTrace> traces;
 
   // Attempt k is fully determined by seed base_seed + k, so the batched
   // engine runs waves of independent attempts and merges them in attempt
@@ -117,6 +120,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const auto first_attempt = static_cast<std::uint64_t>(result.attempts);
 
     episodes.resize(wave);
+    if (config.trace_tap) traces.resize(wave);
     const auto run_range = [&](std::size_t lo, std::size_t hi) {
       // One scenario copy per chunk (not per episode): only the seed
       // differs between attempts, so the chunk worker mutates that field
@@ -124,13 +128,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       ScenarioConfig scenario = config.scenario;
       for (std::size_t k = lo; k < hi; ++k) {
         scenario.seed = config.base_seed + first_attempt + k;
-        episodes[k] = run_episode(scenario);
+        if (config.trace_tap) {
+          traces[k].clear();
+          episodes[k] = run_episode(scenario, &traces[k]);
+        } else {
+          episodes[k] = run_episode(scenario);
+        }
       }
     };
     ThreadPool::run_capped(0, wave, workers, run_range);
 
     for (std::size_t k = 0; k < wave; ++k) {
       if (result.episodes_used >= config.episodes) break;
+      if (config.trace_tap)
+        config.trace_tap(config.base_seed + first_attempt + k, episodes[k],
+                         traces[k]);
       consume_episode(config, episodes[k], result);
     }
   }

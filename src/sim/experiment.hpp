@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,17 @@ struct ExperimentConfig {
   /// seed base_seed + k on its own Rng stream, and results are merged in
   /// attempt order, so the aggregate is identical for every thread count.
   int threads = 1;
+  /// Optional per-episode trace tap: invoked for every *consumed* attempt
+  /// (successful or not), strictly in attempt order, with that attempt's
+  /// seed, result and full trace.  Wave-overshoot episodes the merge
+  /// discards are never tapped, so the tapped sequence is byte-identical
+  /// for every thread count — the property the streaming trace pipeline
+  /// builds on.  The trace reference is a reused wave-slot buffer: the tap
+  /// must serialize or copy, never retain it.  Tracing holds at most one
+  /// wave (<= `threads`) of sample logs in memory at a time.
+  std::function<void(std::uint64_t seed, const EpisodeResult& episode,
+                     const EpisodeTrace& trace)>
+      trace_tap;
 };
 
 /// Per-pipeline aggregate across episodes.

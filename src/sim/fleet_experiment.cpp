@@ -68,22 +68,6 @@ struct FleetUplink {
   double end_s = 0.0;        ///< contended uplink completion
 };
 
-/// Per-vehicle energy of one episode, summed over its Lambda' pipelines.
-EnergyComparison episode_energy(const ScenarioConfig& scenario,
-                                const EpisodeResult& episode) {
-  EnergyComparison total;
-  std::size_t k = 0;
-  for (const auto& pc : scenario.pipelines) {
-    if (pc.criticality != Criticality::kOptimizable) continue;
-    SEO_ASSERT(k < episode.pipelines.size());
-    total += model_energy(episode.pipelines[k].tally, pc.model,
-                          pc.sensor.period_s, scenario.platform,
-                          &scenario.scaled_model);
-    ++k;
-  }
-  return total;
-}
-
 }  // namespace
 
 FleetResult run_fleet_experiment(const FleetExperimentConfig& config) {
@@ -106,16 +90,41 @@ FleetResult run_fleet_experiment(const FleetExperimentConfig& config) {
     std::vector<OffloadEvent> offloads;
   };
   std::vector<Slot> slots(total);
+  const std::uint64_t point_digest =
+      config.trace_sink != nullptr ? scenario_table_digest(scenario) : 0;
   const std::size_t workers = ThreadPool::resolve_threads(config.threads);
   ThreadPool::run_capped(0, total, workers, [&](std::size_t lo,
                                                 std::size_t hi) {
+    // Slot-local trace buffer reused across the chunk's episodes: clear()
+    // keeps its reserved capacity, so steady-state episodes record without
+    // reallocating the sample/offload vectors.
+    EpisodeTrace trace;
     for (std::size_t i = lo; i < hi; ++i) {
       ScenarioConfig episode_scenario = scenario;
       episode_scenario.seed = config.base_seed + i;
-      EpisodeTrace trace;
-      trace.set_capture_samples(false);  // only the offload stream is needed
+      trace.clear();
+      // Sample logs are only needed when streaming; the replay phase just
+      // wants the offload stream.
+      trace.set_capture_samples(config.trace_sink != nullptr);
       slots[i].episode = run_episode(episode_scenario, &trace);
-      slots[i].offloads = trace.offloads();
+      if (config.trace_sink != nullptr) {
+        TraceEpisodeInfo info;
+        info.seed = episode_scenario.seed;
+        info.scenario_digest = point_digest;
+        info.point_index = config.trace_point_index;
+        info.vehicle =
+            static_cast<std::uint32_t>(i % static_cast<std::size_t>(vehicles));
+        info.label = config.trace_label;
+        std::string block;
+        append_trace_episode(block, info,
+                             summarize_episode(scenario, slots[i].episode),
+                             trace);
+        config.trace_sink->commit(config.trace_block_base + i,
+                                  std::move(block), 1);
+      }
+      // Move, not copy: the replay phase owns the uplink stream and the
+      // buffer's capacity is re-reserved on the next clear()+record cycle.
+      slots[i].offloads = trace.take_offloads();
     }
   });
 
@@ -137,7 +146,7 @@ FleetResult run_fleet_experiment(const FleetExperimentConfig& config) {
     if (e.timed_out) ++stats.timeouts;
     stats.filter_engagements += e.filter_engagements;
     stats.avg_speed.add(e.avg_speed);
-    const EnergyComparison energy = episode_energy(scenario, e);
+    const EnergyComparison energy = episode_model_energy(scenario, e);
     stats.energy_actual_j += energy.actual_j;
     stats.energy_baseline_j += energy.baseline_j;
   }

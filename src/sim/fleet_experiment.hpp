@@ -50,6 +50,17 @@ struct FleetExperimentConfig {
   /// Episode parallelism: 1 = serial (default), 0 = all hardware threads,
   /// n = up to n episodes in flight.  Results are identical for every value.
   int threads = 1;
+
+  /// Optional streaming trace sink (`fleet --trace-out`): every episode of
+  /// the fan-out is serialized (full sample log + offload log) and
+  /// committed under block sequence `trace_block_base + slot`, so the
+  /// stream is byte-identical for every thread count.  The caller advances
+  /// `trace_block_base` by rounds x vehicles between grid points and
+  /// finishes the sink when the grid is done.
+  OrderedTraceSink* trace_sink = nullptr;
+  std::uint64_t trace_block_base = 0;
+  std::uint32_t trace_point_index = 0;  ///< grid-point index for episode info
+  std::string trace_label;              ///< grid-point label for episode info
 };
 
 /// Per-vehicle aggregate across rounds.

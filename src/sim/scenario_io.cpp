@@ -9,6 +9,7 @@
 
 #include "sim/scenario_library.hpp"
 #include "util/expect.hpp"
+#include "util/numeric.hpp"
 
 namespace seo {
 
@@ -33,13 +34,9 @@ PerceptionModelSpec scaled_model_from_string(const std::string& name) {
 std::string fmt_value(double v) {
   // Shortest representation that parses back to exactly `v`, so applying
   // the generated template is a true identity (obstacle_region = 1/3 must
-  // not quietly become 0.333333).
-  char buf[40];
-  for (const int precision : {6, 10, 17}) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
+  // not quietly become 0.333333).  Locale-independent (util/numeric): a
+  // comma-decimal LC_NUMERIC must not corrupt generated templates.
+  return format_double(v);
 }
 std::string fmt_value(int v) { return std::to_string(v); }
 std::string fmt_value(bool v) { return v ? "true" : "false"; }

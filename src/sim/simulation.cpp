@@ -491,4 +491,37 @@ EpisodeResult run_episode(const ScenarioConfig& config, EpisodeTrace* trace) {
   return episode;
 }
 
+EnergyComparison episode_model_energy(const ScenarioConfig& config,
+                                      const EpisodeResult& episode) {
+  EnergyComparison total;
+  std::size_t k = 0;
+  for (const auto& pc : config.pipelines) {
+    if (pc.criticality != Criticality::kOptimizable) continue;
+    SEO_ASSERT(k < episode.pipelines.size());
+    total += model_energy(episode.pipelines[k].tally, pc.model,
+                          pc.sensor.period_s, config.platform,
+                          &config.scaled_model);
+    ++k;
+  }
+  return total;
+}
+
+TraceEpisodeSummary summarize_episode(const ScenarioConfig& config,
+                                      const EpisodeResult& episode) {
+  TraceEpisodeSummary summary;
+  summary.completed = episode.completed;
+  summary.collided = episode.collided;
+  summary.off_road = episode.off_road;
+  summary.timed_out = episode.timed_out;
+  summary.duration_s = episode.duration_s;
+  summary.avg_speed = episode.avg_speed;
+  summary.min_h = episode.min_h;
+  summary.filter_engagements = episode.filter_engagements;
+  summary.intervals = episode.intervals;
+  const EnergyComparison energy = episode_model_energy(config, episode);
+  summary.energy_actual_j = energy.actual_j;
+  summary.energy_baseline_j = energy.baseline_j;
+  return summary;
+}
+
 }  // namespace seo

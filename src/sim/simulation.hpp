@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "energy/report.hpp"
 #include "energy/tally.hpp"
 #include "sim/scenario.hpp"
 #include "sim/trace.hpp"
@@ -66,5 +67,17 @@ EpisodeResult run_episode(const ScenarioConfig& config,
 /// siblings land warm; grouping is a scheduling hint only — a mismatch
 /// costs warmth, never correctness.
 std::uint64_t scenario_table_digest(const ScenarioConfig& config);
+
+/// Combined Lambda'-pipeline model energy of one episode under `config`'s
+/// platform power model — the per-episode analogue of
+/// ExperimentResult::combined_model_energy, shared by the fleet aggregator
+/// and the trace-stream episode summaries.
+EnergyComparison episode_model_energy(const ScenarioConfig& config,
+                                      const EpisodeResult& episode);
+
+/// The episode-end summary a trace stream carries for `episode` (outcome
+/// flags, driving metrics, combined model energy).
+TraceEpisodeSummary summarize_episode(const ScenarioConfig& config,
+                                      const EpisodeResult& episode);
 
 }  // namespace seo

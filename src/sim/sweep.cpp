@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 
+#include "core/fingerprint.hpp"
 #include "sim/scenario_io.hpp"
 #include "sim/simulation.hpp"
 #include "util/expect.hpp"
@@ -156,6 +158,7 @@ std::vector<SweepRow> run_sweep(const SweepConfig& config) {
   // boundary still dedups through single-flight; grouping is purely a
   // warmth optimization.  Points with nothing shareable (digest 0) keep
   // their own slot in the order.
+  std::vector<std::uint64_t> digests(points.size());
   std::vector<std::pair<std::size_t, std::size_t>> order;  // (group, index)
   order.reserve(points.size());
   {
@@ -163,6 +166,7 @@ std::vector<SweepRow> run_sweep(const SweepConfig& config) {
     std::size_t next_rank = 0;
     for (std::size_t i = 0; i < points.size(); ++i) {
       const std::uint64_t digest = scenario_table_digest(resolved[i]);
+      digests[i] = digest;
       std::size_t rank = 0;
       if (digest == 0) {
         rank = next_rank++;
@@ -174,6 +178,15 @@ std::vector<SweepRow> run_sweep(const SweepConfig& config) {
       order.emplace_back(rank, i);
     }
     std::sort(order.begin(), order.end());  // grid order within each group
+  }
+
+  // The stream header's run digest: every point's table digest mixed in
+  // grid order — the canonical identity a distributed sweep shards and
+  // merges on.
+  if (config.trace_sink != nullptr) {
+    FingerprintHasher hasher;
+    for (const std::uint64_t digest : digests) hasher.mix(digest);
+    config.trace_sink->set_run_digest(hasher.digest());
   }
 
   // Each grid point is an independent shard with its own slot: shards may
@@ -193,9 +206,34 @@ std::vector<SweepRow> run_sweep(const SweepConfig& config) {
           experiment.base_seed = config.base_seed;
           experiment.require_success = config.require_success;
           experiment.threads = 1;  // parallelism lives at the grid level
+          // Streaming traces: the tap serializes every consumed episode
+          // into this point's block; the block commits under the point's
+          // grid index, so the sink's ordered merge reproduces the serial
+          // stream byte-for-byte whatever the shard schedule was.
+          std::string block;
+          std::uint64_t block_episodes = 0;
+          if (config.trace_sink != nullptr) {
+            TraceEpisodeInfo info;
+            info.scenario_digest = digests[i];
+            info.point_index = static_cast<std::uint32_t>(i);
+            info.label = points[i].label();
+            experiment.trace_tap = [&block, &block_episodes, info,
+                                    &experiment](
+                                       std::uint64_t seed,
+                                       const EpisodeResult& episode,
+                                       const EpisodeTrace& trace) mutable {
+              info.seed = seed;
+              append_trace_episode(
+                  block, info,
+                  summarize_episode(experiment.scenario, episode), trace);
+              ++block_episodes;
+            };
+          }
           rows[i].point = points[i];
           rows[i].scenario = experiment.scenario;
           rows[i].result = run_experiment(experiment);
+          if (config.trace_sink != nullptr)
+            config.trace_sink->commit(i, std::move(block), block_episodes);
         }
       });
   return rows;

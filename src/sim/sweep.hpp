@@ -63,6 +63,14 @@ struct SweepConfig {
   /// the shard itself is deterministic and the sweep result is identical
   /// for every thread count.
   int threads = 1;
+
+  /// Optional streaming trace sink (`sweep --trace-out`): every consumed
+  /// episode of every grid point is serialized into the binary seo-trace
+  /// stream, one block per grid point committed in grid order — the bytes
+  /// are identical for every thread count.  Episodes stream out as points
+  /// complete; no per-episode sample vectors are retained.  The caller
+  /// finishes the sink after run_sweep returns.
+  OrderedTraceSink* trace_sink = nullptr;
 };
 
 /// One completed grid point: the resolved scenario (axis overrides applied)

@@ -1,21 +1,17 @@
 #include "sim/sweep_report.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
 #include "util/expect.hpp"
+#include "util/numeric.hpp"
 
 namespace seo {
 
 std::string report_fmt(double v) {
-  char buf[40];
-  for (const int precision : {6, 10, 17}) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
+  // Locale-independent shortest round-trip (util/numeric): reports must be
+  // byte-stable across hosts whatever LC_NUMERIC is set to.
+  return format_double(v);
 }
 
 std::string report_json_escape(const std::string& s) {

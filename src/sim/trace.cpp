@@ -2,7 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
 #include <sstream>
+
+#include "core/fingerprint.hpp"
+#include "util/expect.hpp"
 
 namespace seo {
 
@@ -16,21 +23,26 @@ void EpisodeTrace::reserve_for(double max_episode_s, double tau_s,
   offloads_.reserve(ticks * std::max<std::size_t>(pipelines, 1));
 }
 
-std::string EpisodeTrace::to_csv() const {
-  std::ostringstream out;
-  out << "t,x,y,heading,speed,h,delta_max,unconstrained,interval_started,"
+const char* trace_csv_header() {
+  return "t,x,y,heading,speed,h,delta_max,unconstrained,interval_started,"
          "engaged,steering,throttle,detection_age\n";
+}
+
+void append_trace_sample_csv(std::string& out, const TraceSample& s) {
   char line[512];
-  for (const auto& s : samples_) {
-    std::snprintf(line, sizeof line,
-                  "%.4f,%.4f,%.4f,%.5f,%.4f,%.4f,%d,%d,%d,%d,%.5f,%.4f,%.4f\n",
-                  s.t, s.position.x, s.position.y, s.heading, s.speed,
-                  s.barrier_h, s.delta_max, s.unconstrained ? 1 : 0,
-                  s.interval_started ? 1 : 0, s.filter_engaged ? 1 : 0,
-                  s.steering, s.throttle, s.detection_age_s);
-    out << line;
-  }
-  return out.str();
+  std::snprintf(line, sizeof line,
+                "%.4f,%.4f,%.4f,%.5f,%.4f,%.4f,%d,%d,%d,%d,%.5f,%.4f,%.4f\n",
+                s.t, s.position.x, s.position.y, s.heading, s.speed,
+                s.barrier_h, s.delta_max, s.unconstrained ? 1 : 0,
+                s.interval_started ? 1 : 0, s.filter_engaged ? 1 : 0,
+                s.steering, s.throttle, s.detection_age_s);
+  out += line;
+}
+
+std::string EpisodeTrace::to_csv() const {
+  std::string out = trace_csv_header();
+  for (const auto& s : samples_) append_trace_sample_csv(out, s);
+  return out;
 }
 
 double EpisodeTrace::engagement_rate() const {
@@ -46,6 +58,538 @@ double EpisodeTrace::max_detection_age() const {
   for (const auto& s : samples_)
     worst = std::max(worst, s.detection_age_s);
   return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Binary stream encoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[10] = {'s', 'e', 'o', '-', 't', 'r',
+                             'a', 'c', 'e', '\0'};
+constexpr std::size_t kHeaderSize = 10 + 2 + 8 + 8;
+// Labels are short grid-point strings; anything bigger than this in a size
+// field is corruption, not data, and must not drive an allocation.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+enum RecordType : std::uint8_t {
+  kRecEpisodeBegin = 1,
+  kRecSample = 2,
+  kRecOffload = 3,
+  kRecEpisodeEnd = 4,
+  kRecStreamEnd = 5,
+};
+
+constexpr std::size_t kSamplePayload = 6 * 8 + 4 + 1 + 3 * 8;
+constexpr std::size_t kOffloadPayload = 4 + 1 + 4 * 8;
+constexpr std::size_t kEpisodeEndPayload = 8 + 8 + 1 + 3 * 8 + 2 * 8 + 2 * 8;
+constexpr std::size_t kStreamEndPayload = 8;
+
+// Explicit little-endian byte shuffles, so the wire format is canonical
+// regardless of host layout (the same discipline core/fingerprint uses).
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+/// Bounds-checked little-endian decoder over one record payload.
+class PayloadReader {
+ public:
+  PayloadReader(const std::string& data) : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(gather(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(gather(4)); }
+  std::uint64_t u64() { return gather(8); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str(std::size_t size) {
+    const char* p = take(size);
+    return std::string(p, size);
+  }
+  bool exhausted() const { return offset_ == data_.size(); }
+
+ private:
+  const char* take(std::size_t size) {
+    if (offset_ + size > data_.size())
+      throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                             "trace record payload shorter than its fields");
+    const char* p = data_.data() + offset_;
+    offset_ += size;
+    return p;
+  }
+  std::uint64_t gather(std::size_t size) {
+    const char* p = take(size);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < size; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    return v;
+  }
+
+  const std::string& data_;
+  std::size_t offset_ = 0;
+};
+
+/// Frames `payload` as one record (type, size, payload, FNV-1a checksum)
+/// appended to `out`.
+void append_record(std::string& out, RecordType type,
+                   const std::string& payload) {
+  SEO_ASSERT(payload.size() <= kMaxPayload);
+  const std::size_t frame_start = out.size();
+  put_u8(out, type);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  FingerprintHasher hasher;
+  hasher.mix_bytes(out.data() + frame_start, out.size() - frame_start);
+  put_u64(out, hasher.digest());
+}
+
+void append_header(std::string& out, std::uint64_t run_digest) {
+  const std::size_t start = out.size();
+  out.append(kMagic, sizeof kMagic);
+  put_u16(out, kTraceStreamVersion);
+  put_u64(out, run_digest);
+  FingerprintHasher hasher;
+  hasher.mix_bytes(out.data() + start, out.size() - start);
+  put_u64(out, hasher.digest());
+  SEO_ASSERT(out.size() - start == kHeaderSize);
+}
+
+std::string encode_episode_begin(const TraceEpisodeInfo& info) {
+  std::string payload;
+  payload.reserve(28 + info.label.size());
+  put_u64(payload, info.seed);
+  put_u64(payload, info.scenario_digest);
+  put_u32(payload, info.point_index);
+  put_u32(payload, info.vehicle);
+  put_u32(payload, static_cast<std::uint32_t>(info.label.size()));
+  payload += info.label;
+  return payload;
+}
+
+std::string encode_sample(const TraceSample& s) {
+  std::string payload;
+  payload.reserve(kSamplePayload);
+  put_f64(payload, s.t);
+  put_f64(payload, s.position.x);
+  put_f64(payload, s.position.y);
+  put_f64(payload, s.heading);
+  put_f64(payload, s.speed);
+  put_f64(payload, s.barrier_h);
+  put_u32(payload, static_cast<std::uint32_t>(s.delta_max));
+  put_u8(payload, static_cast<std::uint8_t>((s.unconstrained ? 1 : 0) |
+                                            (s.interval_started ? 2 : 0) |
+                                            (s.filter_engaged ? 4 : 0)));
+  put_f64(payload, s.steering);
+  put_f64(payload, s.throttle);
+  put_f64(payload, s.detection_age_s);
+  return payload;
+}
+
+std::string encode_offload(const OffloadEvent& e) {
+  std::string payload;
+  payload.reserve(kOffloadPayload);
+  put_u32(payload, static_cast<std::uint32_t>(e.pipeline));
+  put_u8(payload, e.probe ? 1 : 0);
+  put_f64(payload, e.submit_s);
+  put_f64(payload, e.bytes);
+  put_f64(payload, e.tx_time_s);
+  put_f64(payload, e.deadline_s);
+  return payload;
+}
+
+std::string encode_episode_end(const TraceEpisodeSummary& summary,
+                               const TraceEpisodeCounts& counts) {
+  std::string payload;
+  payload.reserve(kEpisodeEndPayload);
+  put_u64(payload, counts.samples);
+  put_u64(payload, counts.offloads);
+  put_u8(payload, static_cast<std::uint8_t>((summary.completed ? 1 : 0) |
+                                            (summary.collided ? 2 : 0) |
+                                            (summary.off_road ? 4 : 0) |
+                                            (summary.timed_out ? 8 : 0)));
+  put_f64(payload, summary.duration_s);
+  put_f64(payload, summary.avg_speed);
+  put_f64(payload, summary.min_h);
+  put_u64(payload, summary.filter_engagements);
+  put_u64(payload, summary.intervals);
+  put_f64(payload, summary.energy_actual_j);
+  put_f64(payload, summary.energy_baseline_j);
+  return payload;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceStreamWriter
+// ---------------------------------------------------------------------------
+
+TraceStreamWriter::TraceStreamWriter(std::ostream& out,
+                                     std::uint64_t run_digest)
+    : out_(out) {
+  std::string header;
+  append_header(header, run_digest);
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+}
+
+void TraceStreamWriter::begin_episode(const TraceEpisodeInfo& info) {
+  SEO_EXPECT(!in_episode_ && !finished_);
+  in_episode_ = true;
+  counts_ = {};
+  buffer_.clear();
+  append_record(buffer_, kRecEpisodeBegin, encode_episode_begin(info));
+}
+
+void TraceStreamWriter::sample(const TraceSample& s) {
+  SEO_EXPECT(in_episode_);
+  append_record(buffer_, kRecSample, encode_sample(s));
+  ++counts_.samples;
+}
+
+void TraceStreamWriter::offload(const OffloadEvent& e) {
+  SEO_EXPECT(in_episode_);
+  append_record(buffer_, kRecOffload, encode_offload(e));
+  ++counts_.offloads;
+}
+
+void TraceStreamWriter::end_episode(const TraceEpisodeSummary& summary) {
+  SEO_EXPECT(in_episode_);
+  append_record(buffer_, kRecEpisodeEnd, encode_episode_end(summary, counts_));
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out_.flush();  // episode-delimited: each episode reaches the pipe whole
+  buffer_.clear();
+  in_episode_ = false;
+  ++episodes_;
+}
+
+void TraceStreamWriter::write_episode(const TraceEpisodeInfo& info,
+                                      const TraceEpisodeSummary& summary,
+                                      const EpisodeTrace& trace) {
+  begin_episode(info);
+  for (const auto& s : trace.samples()) sample(s);
+  for (const auto& e : trace.offloads()) offload(e);
+  end_episode(summary);
+}
+
+void TraceStreamWriter::finish() {
+  SEO_EXPECT(!in_episode_ && !finished_);
+  finished_ = true;
+  std::string tail;
+  std::string payload;
+  put_u64(payload, episodes_);
+  append_record(tail, kRecStreamEnd, payload);
+  out_.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// append_trace_episode (block serialization for OrderedTraceSink)
+// ---------------------------------------------------------------------------
+
+void append_trace_episode(std::string& block, const TraceEpisodeInfo& info,
+                          const TraceEpisodeSummary& summary,
+                          const EpisodeTrace& trace) {
+  append_record(block, kRecEpisodeBegin, encode_episode_begin(info));
+  TraceEpisodeCounts counts;
+  for (const auto& s : trace.samples()) {
+    append_record(block, kRecSample, encode_sample(s));
+    ++counts.samples;
+  }
+  for (const auto& e : trace.offloads()) {
+    append_record(block, kRecOffload, encode_offload(e));
+    ++counts.offloads;
+  }
+  append_record(block, kRecEpisodeEnd, encode_episode_end(summary, counts));
+}
+
+// ---------------------------------------------------------------------------
+// TraceStreamReader
+// ---------------------------------------------------------------------------
+
+TraceStreamReader::TraceStreamReader(std::istream& in, std::ostream* tee)
+    : in_(in), tee_(tee) {
+  char header[kHeaderSize];
+  in_.read(header, static_cast<std::streamsize>(sizeof header));
+  if (static_cast<std::size_t>(in_.gcount()) != sizeof header)
+    throw TraceStreamError(TraceStreamErrc::kBadMagic,
+                           "stream shorter than a seo-trace header");
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0)
+    throw TraceStreamError(TraceStreamErrc::kBadMagic,
+                           "not a seo-trace stream (magic mismatch)");
+  payload_.assign(header + sizeof kMagic, sizeof header - sizeof kMagic);
+  PayloadReader fields(payload_);
+  version_ = fields.u16();
+  run_digest_ = fields.u64();
+  const std::uint64_t stored = fields.u64();
+  FingerprintHasher hasher;
+  hasher.mix_bytes(header, kHeaderSize - 8);
+  if (stored != hasher.digest())
+    throw TraceStreamError(TraceStreamErrc::kBadChecksum,
+                           "seo-trace header checksum mismatch");
+  if (version_ != kTraceStreamVersion)
+    throw TraceStreamError(
+        TraceStreamErrc::kVersionMismatch,
+        "seo-trace version " + std::to_string(version_) +
+            " not supported (reader speaks version " +
+            std::to_string(kTraceStreamVersion) + ")");
+  if (tee_) tee_->write(header, static_cast<std::streamsize>(sizeof header));
+}
+
+void TraceStreamReader::read_bytes(void* dst, std::size_t size,
+                                   const char* what) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in_.gcount()) != size)
+    throw TraceStreamError(
+        TraceStreamErrc::kTruncated,
+        std::string("seo-trace stream truncated mid-") + what);
+}
+
+bool TraceStreamReader::next(TraceRecord& record) {
+  if (done_) return false;
+
+  // --- Frame ---------------------------------------------------------------
+  char head[5];
+  in_.read(head, 1);
+  if (in_.gcount() != 1)
+    throw TraceStreamError(
+        TraceStreamErrc::kTruncated,
+        "seo-trace stream ended without a stream-end record");
+  read_bytes(head + 1, 4, "record size");
+  const auto type = static_cast<std::uint8_t>(head[0]);
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i)
+    size |= static_cast<std::uint32_t>(static_cast<unsigned char>(head[1 + i]))
+            << (8 * i);
+  if (size > kMaxPayload)
+    throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                           "seo-trace record size " + std::to_string(size) +
+                               " exceeds the format cap");
+  payload_.resize(size);
+  if (size > 0) read_bytes(payload_.data(), size, "record payload");
+  char digest_bytes[8];
+  read_bytes(digest_bytes, 8, "record checksum");
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i)
+    stored |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(digest_bytes[i]))
+              << (8 * i);
+  FingerprintHasher hasher;
+  hasher.mix_bytes(head, sizeof head);
+  hasher.mix_bytes(payload_.data(), payload_.size());
+  if (stored != hasher.digest())
+    throw TraceStreamError(TraceStreamErrc::kBadChecksum,
+                           "seo-trace record checksum mismatch (record " +
+                               std::to_string(type) + ")");
+  if (tee_) {
+    tee_->write(head, sizeof head);
+    tee_->write(payload_.data(),
+                static_cast<std::streamsize>(payload_.size()));
+    tee_->write(digest_bytes, sizeof digest_bytes);
+  }
+
+  // --- Payload -------------------------------------------------------------
+  PayloadReader fields(payload_);
+  const auto require_in_episode = [&](const char* name) {
+    if (!in_episode_)
+      throw TraceStreamError(
+          TraceStreamErrc::kBadRecord,
+          std::string("seo-trace ") + name + " record outside an episode");
+  };
+  switch (type) {
+    case kRecEpisodeBegin: {
+      if (in_episode_)
+        throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                               "seo-trace episode-begin inside an episode");
+      record.type = TraceRecord::Type::kEpisodeBegin;
+      record.episode.seed = fields.u64();
+      record.episode.scenario_digest = fields.u64();
+      record.episode.point_index = fields.u32();
+      record.episode.vehicle = fields.u32();
+      record.episode.label = fields.str(fields.u32());
+      in_episode_ = true;
+      counts_ = {};
+      break;
+    }
+    case kRecSample: {
+      require_in_episode("sample");
+      if (payload_.size() != kSamplePayload)
+        throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                               "seo-trace sample record has wrong size");
+      record.type = TraceRecord::Type::kSample;
+      TraceSample& s = record.sample;
+      s.t = fields.f64();
+      s.position.x = fields.f64();
+      s.position.y = fields.f64();
+      s.heading = fields.f64();
+      s.speed = fields.f64();
+      s.barrier_h = fields.f64();
+      s.delta_max = static_cast<int>(static_cast<std::int32_t>(fields.u32()));
+      const std::uint8_t flags = fields.u8();
+      s.unconstrained = (flags & 1) != 0;
+      s.interval_started = (flags & 2) != 0;
+      s.filter_engaged = (flags & 4) != 0;
+      s.steering = fields.f64();
+      s.throttle = fields.f64();
+      s.detection_age_s = fields.f64();
+      ++counts_.samples;
+      break;
+    }
+    case kRecOffload: {
+      require_in_episode("offload");
+      if (payload_.size() != kOffloadPayload)
+        throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                               "seo-trace offload record has wrong size");
+      record.type = TraceRecord::Type::kOffload;
+      OffloadEvent& e = record.offload;
+      e.pipeline = fields.u32();
+      e.probe = fields.u8() != 0;
+      e.submit_s = fields.f64();
+      e.bytes = fields.f64();
+      e.tx_time_s = fields.f64();
+      e.deadline_s = fields.f64();
+      ++counts_.offloads;
+      break;
+    }
+    case kRecEpisodeEnd: {
+      require_in_episode("episode-end");
+      if (payload_.size() != kEpisodeEndPayload)
+        throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                               "seo-trace episode-end record has wrong size");
+      record.type = TraceRecord::Type::kEpisodeEnd;
+      record.counts.samples = fields.u64();
+      record.counts.offloads = fields.u64();
+      const std::uint8_t flags = fields.u8();
+      TraceEpisodeSummary& sum = record.summary;
+      sum.completed = (flags & 1) != 0;
+      sum.collided = (flags & 2) != 0;
+      sum.off_road = (flags & 4) != 0;
+      sum.timed_out = (flags & 8) != 0;
+      sum.duration_s = fields.f64();
+      sum.avg_speed = fields.f64();
+      sum.min_h = fields.f64();
+      sum.filter_engagements = fields.u64();
+      sum.intervals = fields.u64();
+      sum.energy_actual_j = fields.f64();
+      sum.energy_baseline_j = fields.f64();
+      if (record.counts.samples != counts_.samples ||
+          record.counts.offloads != counts_.offloads)
+        throw TraceStreamError(
+            TraceStreamErrc::kBadRecord,
+            "seo-trace episode-end counts disagree with the records read");
+      in_episode_ = false;
+      ++episodes_;
+      break;
+    }
+    case kRecStreamEnd: {
+      if (in_episode_)
+        throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                               "seo-trace stream-end inside an episode");
+      if (payload_.size() != kStreamEndPayload)
+        throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                               "seo-trace stream-end record has wrong size");
+      total_episodes_ = fields.u64();
+      if (total_episodes_ != episodes_)
+        throw TraceStreamError(
+            TraceStreamErrc::kBadRecord,
+            "seo-trace stream-end claims " + std::to_string(total_episodes_) +
+                " episodes, stream contained " + std::to_string(episodes_));
+      char extra = 0;
+      in_.read(&extra, 1);
+      if (in_.gcount() != 0)
+        throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                               "trailing bytes after seo-trace stream-end");
+      done_ = true;
+      return false;
+    }
+    default:
+      throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                             "unknown seo-trace record type " +
+                                 std::to_string(type));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// OrderedTraceSink
+// ---------------------------------------------------------------------------
+
+void OrderedTraceSink::set_run_digest(std::uint64_t digest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SEO_EXPECT(!header_written_);
+  run_digest_ = digest;
+}
+
+void OrderedTraceSink::write_header_locked() {
+  if (header_written_) return;
+  std::string header;
+  append_header(header, run_digest_);
+  out_->write(header.data(), static_cast<std::streamsize>(header.size()));
+  header_written_ = true;
+}
+
+void OrderedTraceSink::commit(std::uint64_t seq, std::string block,
+                              std::uint64_t episodes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SEO_EXPECT(!finished_);
+  SEO_EXPECT(seq >= next_seq_);
+  SEO_EXPECT(pending_.find(seq) == pending_.end());
+  write_header_locked();
+  pending_.emplace(seq, std::make_pair(std::move(block), episodes));
+  // Drain the contiguous prefix: blocks land on the wire strictly in
+  // sequence order no matter which shard finished first.
+  while (true) {
+    const auto it = pending_.find(next_seq_);
+    if (it == pending_.end()) break;
+    const std::string& bytes = it->second.first;
+    out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    episodes_ += it->second.second;
+    pending_.erase(it);
+    ++next_seq_;
+  }
+  out_->flush();
+}
+
+void OrderedTraceSink::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SEO_EXPECT(!finished_);
+  if (!pending_.empty())
+    throw ContractViolation(
+        "trace sink finished with a sequence gap: block " +
+        std::to_string(next_seq_) + " was never committed");
+  write_header_locked();
+  finished_ = true;
+  std::string tail;
+  std::string payload;
+  put_u64(payload, episodes_);
+  append_record(tail, kRecStreamEnd, payload);
+  out_->write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  out_->flush();
+}
+
+std::uint64_t OrderedTraceSink::episodes_written() const {
+  return episodes_;
 }
 
 }  // namespace seo

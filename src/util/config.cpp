@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/expect.hpp"
+#include "util/numeric.hpp"
 
 namespace seo {
 
@@ -69,12 +70,10 @@ double KeyValueConfig::get_double(const std::string& key,
                                   double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    std::size_t consumed = 0;
-    const double v = std::stod(it->second, &consumed);
-    if (trim(it->second.substr(consumed)).empty()) return v;
-  } catch (const std::exception&) {
-  }
+  // Locale-independent parse (util/numeric): std::stod honors LC_NUMERIC,
+  // under which "0.5" silently truncates to 0 on comma-decimal hosts.
+  double v = 0.0;
+  if (parse_double(trim(it->second), v)) return v;
   throw ContractViolation("config key '" + key + "' is not a number: " +
                           it->second);
 }

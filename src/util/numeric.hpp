@@ -1,0 +1,37 @@
+// Locale-independent numeric text round-tripping.
+//
+// Every formatter/parser pair that feeds a byte-stable artifact (scenario
+// templates, sweep/fleet reports, config files, CLI flags) routes through
+// these two functions instead of snprintf("%g")/strtod.  The C functions
+// honor LC_NUMERIC: under a comma-decimal locale (de_DE, fr_FR, ...) they
+// print "0,5" and parse "0.5" as 0 — so a template generated on one box
+// silently changes values when applied on another, and the shortest-
+// round-trip search in the formatter "verifies" against the wrong parse.
+// std::to_chars/std::from_chars are locale-independent by specification,
+// which makes the round trip a true identity everywhere.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace seo {
+
+/// Shortest decimal representation that parses back (via parse_double) to
+/// exactly `v`.  Locale-independent: always '.' as the decimal separator,
+/// never grouping.  Infinities render as "inf"/"-inf", NaN as "nan".
+std::string format_double(double v);
+
+/// Locale-independent strict parse: the entire string (no leading
+/// whitespace, no trailing garbage) must form one double.  Accepts the
+/// formats format_double emits plus standard fixed/scientific/hex-float
+/// spellings and "inf"/"nan".  Returns false without touching `out` when
+/// the text does not parse.
+bool parse_double(std::string_view text, double& out);
+
+/// parse_double plus a finiteness requirement — the variant CLI flags and
+/// config keys want, where "nan", "inf" or "5x" must be a loud error, not
+/// a value.  Returns false unless `text` parses completely to a finite
+/// double.
+bool parse_finite_double(std::string_view text, double& out);
+
+}  // namespace seo

@@ -51,6 +51,8 @@ DEFAULT_NAMES = [
     "BM_MlpForwardWorkspace",
     "BM_RolloutPhiCache",
     "BM_SafetyFilterPass",
+    "BM_TraceStreamRead",
+    "BM_TraceStreamWrite",
 ]
 
 # Parallel-vs-serial speedup assertions checked within the fresh file:

@@ -16,9 +16,26 @@
 #include "core/artifact_store.hpp"
 #include "nn/weights_store.hpp"
 #include "safety/table_cache.hpp"
+#include "util/numeric.hpp"
 #include "util/thread_pool.hpp"
 
 namespace seo::cli {
+
+/// Strict numeric flag parse shared by every CLI double flag: the whole
+/// string must form one finite number (util/numeric, locale-independent).
+/// "5x", "nan", "inf" and "" are all errors — a flag value with a typo
+/// must fail loudly, never silently truncate to a prefix.
+inline double parse_numeric_flag(const std::string& flag,
+                                 const std::string& text,
+                                 double min_value = 0.0) {
+  double v = 0.0;
+  if (!parse_finite_double(text, v) || v < min_value) {
+    std::cerr << flag << " expects a finite number >= " << min_value
+              << ", got '" << text << "'\n";
+    std::exit(2);
+  }
+  return v;
+}
 
 /// Splits on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
 inline std::vector<std::string> split(const std::string& text, char sep) {
@@ -77,14 +94,7 @@ inline bool parse_cache_flag(
   };
   const auto next_double = [&]() -> std::pair<std::string, double> {
     const std::string text = next_value();
-    char* end = nullptr;
-    const double v = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0' || v < 0.0) {
-      std::cerr << arg << " expects a non-negative number, got '" << text
-                << "'\n";
-      std::exit(2);
-    }
-    return {text, v};
+    return {text, parse_numeric_flag(arg, text)};
   };
 
   if (arg == "--table-cache") {

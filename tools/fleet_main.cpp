@@ -16,16 +16,20 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cli_common.hpp"
 #include "safety/table_cache.hpp"
+#include "core/fingerprint.hpp"
 #include "sim/fleet_experiment.hpp"
 #include "sim/scenario_io.hpp"
+#include "sim/simulation.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_report.hpp"
+#include "sim/trace.hpp"
 #include "util/expect.hpp"
 
 namespace {
@@ -53,6 +57,9 @@ int usage(int code) {
       << "  --format csv|json      grid report format (default csv)\n"
          "  --output PATH          write the grid report to PATH "
          "(default stdout)\n"
+         "  --trace-out FILE|-     stream every fan-out episode as a binary\n"
+         "                         seo-trace ('-' = stdout and then requires\n"
+         "                         --output so the report never interleaves)\n"
          "  --vehicles-output PATH also write per-vehicle summaries (one\n"
          "                         '# label' section per grid point)\n"
          "  --smoke                CI preset: fleet_cluster x servers{1,2} x\n"
@@ -75,6 +82,7 @@ int main(int argc, char** argv) {
   std::string format = "csv";
   std::string output;
   std::string vehicles_output;
+  std::string trace_out;
   seo::cli::CacheCliOptions cache;
 
   bool smoke = false;
@@ -162,6 +170,8 @@ int main(int argc, char** argv) {
       output = next_arg(i);
     } else if (arg == "--vehicles-output") {
       vehicles_output = next_arg(i);
+    } else if (arg == "--trace-out") {
+      trace_out = next_arg(i);
     } else if (arg == "--smoke") {
       // Handled by the pre-scan above.
     } else {
@@ -170,12 +180,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // See sweep_main: '-' sends the binary stream to stdout, so the report
+  // must be routed to a file.
+  if (trace_out == "-" && output.empty()) {
+    std::cerr << "--trace-out - writes the binary stream to stdout; route "
+                 "the report elsewhere with --output PATH\n";
+    return usage(2);
+  }
+  std::ofstream trace_file;
+  std::optional<OrderedTraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    std::ostream* stream = &std::cout;
+    if (trace_out != "-") {
+      trace_file.open(trace_out, std::ios::binary | std::ios::trunc);
+      if (!trace_file) {
+        std::cerr << "cannot open " << trace_out << " for writing\n";
+        return 1;
+      }
+      stream = &trace_file;
+    }
+    trace_sink.emplace(*stream);
+  }
+
   try {
     if (format != "csv" && format != "json")
       throw ContractViolation("unknown fleet report format: " + format +
                               " (csv|json)");
     seo::cli::run_requested_gc(cache);
     const std::vector<SweepPoint> points = expand_grid(grid);
+    if (trace_sink) {
+      // Header prepass: mix every point's table digest in grid order —
+      // the same run identity a traced sweep stamps.
+      FingerprintHasher hasher;
+      for (const SweepPoint& point : points)
+        hasher.mix(scenario_table_digest(resolve_point(grid, point)));
+      trace_sink->set_run_digest(hasher.digest());
+    }
     const auto run_start = std::chrono::steady_clock::now();
 
     std::ostringstream report;
@@ -193,12 +233,24 @@ int main(int argc, char** argv) {
              << "  \"rows\": {";
     }
 
+    std::uint64_t trace_block_base = 0;
     for (const SweepPoint& point : points) {
       FleetExperimentConfig config;
       config.scenario = resolve_point(grid, point);
       config.rounds = rounds;
       config.base_seed = base_seed;
       config.threads = threads;
+      if (trace_sink) {
+        config.trace_sink = &*trace_sink;
+        config.trace_block_base = trace_block_base;
+        config.trace_point_index = static_cast<std::uint32_t>(point.index);
+        config.trace_label = point.label();
+        // One block per episode slot, so the next point's base skips this
+        // point's rounds x vehicles slots.
+        trace_block_base += static_cast<std::uint64_t>(rounds) *
+                            static_cast<std::uint64_t>(
+                                config.scenario.fleet.vehicles);
+      }
       const FleetResult result = run_fleet_experiment(config);
       const std::vector<double> values = fleet_metrics(result);
 
@@ -226,6 +278,12 @@ int main(int argc, char** argv) {
       }
     }
     if (format == "json") report << "\n  }\n}\n";
+    if (trace_sink) {
+      trace_sink->finish();
+      std::cerr << "streamed " << trace_sink->episodes_written()
+                << " episode traces to "
+                << (trace_out == "-" ? "stdout" : trace_out) << "\n";
+    }
 
     seo::cli::print_artifact_store_stats(std::cerr);
     if (show_pool_stats) {

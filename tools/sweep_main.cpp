@@ -12,6 +12,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "sim/scenario_io.hpp"
 #include "sim/sweep.hpp"
 #include "sim/sweep_report.hpp"
+#include "sim/trace.hpp"
 #include "util/expect.hpp"
 
 namespace {
@@ -53,6 +55,12 @@ int usage(int code) {
       << "  --format csv|json      report format (default csv)\n"
          "  --output PATH          write the report to PATH (default "
          "stdout)\n"
+         "  --trace-out FILE|-     stream every episode as a binary "
+         "seo-trace\n"
+         "                         ('-' = stdout and then requires --output,\n"
+         "                         so the report never interleaves; pipe into\n"
+         "                         trace-export / trace-deadline-histogram /\n"
+         "                         trace-energy-report / trace-safety-audit)\n"
          "  --smoke                CI preset: 2x2 grid over 4 scenarios on "
          "a short route\n"
          "                         (a seed config: later flags refine it, "
@@ -67,6 +75,7 @@ int main(int argc, char** argv) {
   config.threads = 0;
   std::string format = "csv";
   std::string output;
+  std::string trace_out;
   seo::cli::CacheCliOptions cache;
 
   // --smoke is a preset, not a terminal mode: it seeds the config before
@@ -164,6 +173,8 @@ int main(int argc, char** argv) {
       format = next_arg(i);
     } else if (arg == "--output") {
       output = next_arg(i);
+    } else if (arg == "--trace-out") {
+      trace_out = next_arg(i);
     } else if (arg == "--smoke") {
       // Handled by the pre-scan above.
     } else {
@@ -172,10 +183,39 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The binary trace stream shares stdout with the report only if exactly
+  // one of them goes there; '-' therefore demands --output.
+  if (trace_out == "-" && output.empty()) {
+    std::cerr << "--trace-out - writes the binary stream to stdout; route "
+                 "the report elsewhere with --output PATH\n";
+    return usage(2);
+  }
+  std::ofstream trace_file;
+  std::optional<OrderedTraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    std::ostream* stream = &std::cout;
+    if (trace_out != "-") {
+      trace_file.open(trace_out, std::ios::binary | std::ios::trunc);
+      if (!trace_file) {
+        std::cerr << "cannot open " << trace_out << " for writing\n";
+        return 1;
+      }
+      stream = &trace_file;
+    }
+    trace_sink.emplace(*stream);
+    config.trace_sink = &*trace_sink;
+  }
+
   try {
     seo::cli::run_requested_gc(cache);
     const auto run_start = std::chrono::steady_clock::now();
     const std::vector<SweepRow> rows = run_sweep(config);
+    if (trace_sink) {
+      trace_sink->finish();
+      std::cerr << "streamed " << trace_sink->episodes_written()
+                << " episode traces to "
+                << (trace_out == "-" ? "stdout" : trace_out) << "\n";
+    }
     const double run_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       run_start)

@@ -1,0 +1,93 @@
+// `trace-deadline-histogram` — interval deadline histogram from a
+// seo-trace stream.
+//
+//   sweep --smoke --trace-out - --output grid.csv | trace-deadline-histogram
+//
+// Counts every optimization interval (samples flagged interval_started) by
+// its effective deadline delta_max — the stream-side equivalent of the
+// deadline_hist column family in the sweep report, but computable from a
+// trace file long after the run.  Output: delta,count,share CSV.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "trace_stage.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+using namespace seo;
+
+int usage(int code) {
+  std::ostream& out = code == 0 ? std::cout : std::cerr;
+  out << "usage: trace-deadline-histogram [FILE|-] [options]\n"
+      << seo::cli::kTraceStageUsage
+      << "  --unconstrained        count unconstrained intervals too (as "
+         "delta -1)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  seo::cli::TraceStage stage;
+  bool include_unconstrained = false;
+
+  const auto next_arg = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      std::exit(usage(2));
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "--unconstrained") {
+      include_unconstrained = true;
+    } else if (stage.parse_flag(arg, i, next_arg)) {
+      // Shared stage flags (trace_stage.hpp).
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(2);
+    }
+  }
+  if (!stage.validate("trace-deadline-histogram")) return usage(2);
+
+  try {
+    TraceStreamReader reader(stage.open_input("trace-deadline-histogram"),
+                             stage.tee());
+    // Keyed map, not a dense vector: delta_max is small but unbounded by
+    // format, and -1 collects unconstrained intervals when requested.
+    std::map<int, std::uint64_t> hist;
+    std::uint64_t intervals = 0;
+    TraceRecord record;
+    while (reader.next(record)) {
+      if (record.type != TraceRecord::Type::kSample) continue;
+      if (!record.sample.interval_started) continue;
+      if (record.sample.unconstrained && !include_unconstrained) continue;
+      const int key = record.sample.unconstrained ? -1
+                                                  : record.sample.delta_max;
+      ++hist[key];
+      ++intervals;
+    }
+    std::ostream& report =
+        stage.open_report("trace-deadline-histogram");
+    report << "delta,count,share\n";
+    for (const auto& [delta, count] : hist) {
+      report << delta << "," << count << ","
+             << format_double(intervals > 0
+                                  ? static_cast<double>(count) /
+                                        static_cast<double>(intervals)
+                                  : 0.0)
+             << "\n";
+    }
+    std::cerr << "trace-deadline-histogram: " << intervals
+              << " intervals across " << reader.episodes_total()
+              << " episodes\n";
+  } catch (const TraceStreamError& e) {
+    return seo::cli::report_stream_error("trace-deadline-histogram", e);
+  }
+  return 0;
+}
