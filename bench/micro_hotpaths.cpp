@@ -8,9 +8,11 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "control/hybrid_policy.hpp"
 #include "control/neural_policy.hpp"
+#include "core/binary_io.hpp"
 #include "dynamics/bicycle.hpp"
 #include "nn/cem.hpp"
 #include "nn/mlp.hpp"
@@ -330,6 +332,48 @@ void BM_CemWeightsCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CemWeightsCache);
+
+// Artifact payload parse, v1 text vs v2 binary: the cost a cold process
+// pays per disk load before it can serve a table.  The binary decode is a
+// header check plus one contiguous memcpy of raw IEEE-754 cells; the text
+// parse it replaced ran every cell through locale-independent decimal
+// parsing.  Both parse the identical table so the ratio is the format win.
+DeadlineTable payload_bench_table() {
+  DeadlineTableKey key;
+  key.table.max_distance = LipschitzIntervalConfig{}.sensing_range;
+  key.body_radius = BarrierConfig{}.body_radius;
+  const Barrier barrier(key.barrier);
+  const LipschitzSafeInterval source(key.interval, barrier, Road(key.road));
+  return DeadlineTable(key.table, source, key.body_radius);
+}
+
+void BM_ArtifactPayloadParseText(benchmark::State& state) {
+  const DeadlineTable table = payload_bench_table();
+  std::ostringstream out;
+  table.save(out);
+  const std::string text = out.str();
+  for (auto _ : state) {
+    std::istringstream in(text);
+    benchmark::DoNotOptimize(DeadlineTable::load(in));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_ArtifactPayloadParseText)->Unit(benchmark::kMicrosecond);
+
+void BM_ArtifactPayloadParseBinary(benchmark::State& state) {
+  const DeadlineTable table = payload_bench_table();
+  std::string payload;
+  BinaryWriter writer(payload);
+  table.encode(writer);
+  for (auto _ : state) {
+    BinaryReader in{std::string_view(payload)};
+    benchmark::DoNotOptimize(DeadlineTable::decode(in));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_ArtifactPayloadParseBinary)->Unit(benchmark::kMicrosecond);
 
 // Sweep-level before/after on a table-dominated rig: 16 grid points whose
 // short episodes are dwarfed by a large T(x,u) build.  cached:0 rebuilds

@@ -1,12 +1,18 @@
 #include "core/artifact_store.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -62,23 +68,35 @@ namespace artifact_detail {
 
 namespace {
 
-constexpr const char* kManifestName = "manifest.txt";
-constexpr const char* kManifestMagic = "seo-artifact-manifest";
-constexpr int kManifestVersion = 1;
+// --- On-disk names ---------------------------------------------------------
+
+constexpr const char* kManifestBinName = "manifest.bin";
+/// Legacy v1 text manifest — still read as a migration source, replaced by
+/// the binary manifest on the first flush.
+constexpr const char* kManifestTextName = "manifest.txt";
+/// The directory-wide advisory lock every manifest flush and GC sweep
+/// serializes on (never unlinked — unlinking an advisory lock file is the
+/// classic two-holders race).
+constexpr const char* kManifestLockName = "manifest.lock";
+
+constexpr const char* kManifestTextMagic = "seo-artifact-manifest";
+constexpr int kManifestTextVersion = 1;
+
+/// Binary manifest v2: magic, version, entry count, (name, seq, bytes,
+/// last_used) per entry, FNV-1a checksum tail.  Concurrent writers are
+/// tolerated by merging on read with last-writer-wins sequence numbers.
+constexpr char kManifestMagic[13] = "seo-manifest";  // includes the NUL
+constexpr std::uint16_t kManifestVersion = 2;
+
+/// v2 artifact container magic (13 bytes, includes the NUL).
+constexpr char kArtifactMagic[13] = "seo-artifact";
+constexpr std::uint16_t kArtifactContainerVersion = 2;
+
 /// Temp files from crashed writers older than this are GC'd.
 constexpr double kStaleTmpAgeS = 300.0;
 
-/// One process-wide mutex for manifest read-modify-write cycles.  Manifest
-/// operations happen at most once per distinct artifact per process (a
-/// disk load or store; in-memory hits never touch it) and each cycle is an
-/// O(dir) text parse + rewrite, amortized against the multi-millisecond
-/// build it replaced — so a single lock beats a per-directory lock table.
-/// If artifact dirs ever reach thousands of entries, the flush-once /
-/// advisory-locking design sketched in ROADMAP.md replaces this.
-std::mutex& manifest_mutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+/// In-memory manifest mutations per automatic flush to disk.
+constexpr unsigned kManifestFlushEvery = 8;
 
 struct ManifestEntry {
   std::uint64_t seq = 0;        ///< logical last-use order (higher = newer)
@@ -94,16 +112,83 @@ std::int64_t now_unix() {
       .count();
 }
 
-/// Best-effort read; a missing or malformed manifest is an empty one (the
-/// GC then falls back to "everything is oldest", which only costs warmth).
-Manifest read_manifest(const fs::path& dir) {
+/// RAII blocking flock on the directory's manifest.lock — serializes
+/// manifest flushes and GC sweeps across processes.  Degrades to unlocked
+/// (held() false) on filesystems that refuse advisory locks; flushes then
+/// still go through temp-write + rename, so readers never see a torn
+/// manifest, only possibly a stale one.
+class DirLock {
+ public:
+  explicit DirLock(const fs::path& dir) {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const std::string path = (dir / kManifestLockName).string();
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+    if (fd < 0) return;
+    if (::flock(fd, LOCK_EX) != 0) {
+      ::close(fd);
+      return;
+    }
+    fd_ = fd;
+  }
+  ~DirLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+  bool held() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Best-effort read of the on-disk manifest; a missing or malformed one is
+/// an empty one (the GC then falls back to "everything is oldest", which
+/// only costs warmth, never correctness).
+Manifest read_manifest_disk(const fs::path& dir) {
   Manifest manifest;
-  std::ifstream in(dir / kManifestName);
+  // Binary v2 first.
+  {
+    std::ifstream in(dir / kManifestBinName, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string blob = buffer.str();
+      try {
+        BinaryReader r{std::string_view(blob)};
+        const std::size_t start = r.offset();
+        char magic[sizeof kManifestMagic];
+        r.bytes(magic, sizeof magic);
+        if (std::memcmp(magic, kManifestMagic, sizeof magic) != 0 ||
+            r.u16() != kManifestVersion)
+          return manifest;
+        const std::uint32_t count = r.u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::string name = r.str();
+          ManifestEntry entry;
+          entry.seq = r.u64();
+          entry.bytes = r.u64();
+          entry.last_used = r.i64();
+          manifest[name] = entry;
+        }
+        r.verify_checksum_from(start, "manifest");
+        r.require_exhausted("manifest");
+        return manifest;
+      } catch (const std::exception&) {
+        return Manifest{};  // corrupt manifest: start cold, lose only warmth
+      }
+    }
+  }
+  // Legacy v1 text fallback (pre-binary dirs migrate on first flush).
+  std::ifstream in(dir / kManifestTextName);
   if (!in) return manifest;
   std::string magic;
   int version = 0;
   in >> magic >> version;
-  if (magic != kManifestMagic || version != kManifestVersion)
+  if (magic != kManifestTextMagic || version != kManifestTextVersion)
     return manifest;
   ManifestEntry entry;
   std::string file;
@@ -112,100 +197,316 @@ Manifest read_manifest(const fs::path& dir) {
   return manifest;
 }
 
-void write_manifest(const fs::path& dir, const Manifest& manifest) {
-  // Temp-write + rename so concurrent readers (other processes) only ever
-  // observe a complete manifest.
-  const fs::path path = dir / kManifestName;
+/// Temp-write + rename so concurrent readers (other processes) only ever
+/// observe a complete manifest; the legacy text manifest is retired once
+/// the binary one exists.
+void write_manifest_disk(const fs::path& dir, const Manifest& manifest) {
+  const fs::path path = dir / kManifestBinName;
   const fs::path tmp =
-      dir / (std::string(kManifestName) + ".tmp." +
+      dir / (std::string(kManifestBinName) + ".tmp." +
              std::to_string(static_cast<long long>(::getpid())));
+  std::string blob;
+  BinaryWriter w(blob);
+  const std::size_t start = w.mark();
+  w.bytes(kManifestMagic, sizeof kManifestMagic);
+  w.u16(kManifestVersion);
+  w.u32(static_cast<std::uint32_t>(manifest.size()));
+  for (const auto& [file, entry] : manifest) {
+    w.str(file);
+    w.u64(entry.seq);
+    w.u64(entry.bytes);
+    w.i64(entry.last_used);
+  }
+  w.checksum_from(start);
   {
-    std::ofstream out(tmp);
+    std::ofstream out(tmp, std::ios::binary);
     if (!out) throw ContractViolation("cannot open " + tmp.string());
-    out << kManifestMagic << " " << kManifestVersion << "\n";
-    for (const auto& [file, entry] : manifest)
-      out << entry.seq << " " << entry.bytes << " " << entry.last_used << " "
-          << file << "\n";
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
     if (!out) throw ContractViolation("short write to " + tmp.string());
   }
   fs::rename(tmp, path);
+  std::error_code ec;
+  fs::remove(dir / kManifestTextName, ec);
 }
 
-std::uint64_t next_seq(const Manifest& manifest) {
-  std::uint64_t max_seq = 0;
+std::uint64_t max_seq(const Manifest& manifest) {
+  std::uint64_t seq = 0;
   for (const auto& [file, entry] : manifest)
-    max_seq = std::max(max_seq, entry.seq);
-  return max_seq + 1;
+    seq = std::max(seq, entry.seq);
+  return seq;
 }
 
-void record_use(const fs::path& dir, const std::string& file,
-                std::uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(manifest_mutex());
-  Manifest manifest = read_manifest(dir);
-  ManifestEntry& entry = manifest[file];
-  entry.seq = next_seq(manifest);
-  entry.bytes = bytes;
-  entry.last_used = now_unix();
-  write_manifest(dir, manifest);
+/// Last-writer-wins merge: per file, the entry with the higher sequence
+/// number survives (two processes that both used a file disagree only
+/// about *how recently* — either answer keeps the file warm).
+void merge_manifest(Manifest& into, const Manifest& from) {
+  for (const auto& [file, entry] : from) {
+    auto it = into.find(file);
+    if (it == into.end() || entry.seq > it->second.seq)
+      into[file] = entry;
+  }
 }
 
 bool is_tmp_file(const std::string& name) {
   return name.find(".tmp.") != std::string::npos;
 }
 
+bool is_lock_file(const std::string& name) {
+  return name.size() > 5 && name.compare(name.size() - 5, 5, ".lock") == 0;
+}
+
+/// The per-directory in-memory manifest: loaded from disk once per
+/// process, mutated in memory (O(1) per artifact use instead of an O(dir)
+/// text read-modify-write), flushed under the directory lock every few
+/// updates, on GC, and at process exit.
+class ManifestCache {
+ public:
+  explicit ManifestCache(fs::path dir) : dir_(std::move(dir)) {}
+
+  ~ManifestCache() {
+    // Exit flush: best effort, never throws out of a destructor.
+    try {
+      flush();
+    } catch (...) {
+    }
+  }
+
+  /// The process-wide cache for `dir` (normalized), created on first use.
+  /// The registry is a function-local static destroyed at process exit —
+  /// each cache's destructor flushes its dirty manifest, which is the
+  /// "flush on exit" leg of the manifest policy.
+  static ManifestCache& for_dir(const fs::path& dir) {
+    static std::mutex registry_mutex;
+    static std::map<std::string, std::unique_ptr<ManifestCache>> registry;
+    std::error_code ec;
+    fs::path normal = fs::weakly_canonical(dir, ec);
+    if (ec) normal = fs::absolute(dir, ec);
+    const std::string key = normal.empty() ? dir.string() : normal.string();
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    auto& slot = registry[key];
+    if (!slot) slot = std::make_unique<ManifestCache>(dir);
+    return *slot;
+  }
+
+  /// Every live cache, for flush_manifests() and the exit hook.
+  static void flush_all() {
+    for (ManifestCache* cache : instances()) cache->flush();
+  }
+
+  void record_use(const std::string& file, std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure_loaded_locked();
+    ManifestEntry& entry = mem_[file];
+    entry.seq = ++max_seq_;
+    entry.bytes = bytes;
+    entry.last_used = now_unix();
+    if (++dirty_ >= kManifestFlushEvery) flush_locked();
+  }
+
+  void flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dirty_ == 0) return;
+    // A deleted directory (a test's temp dir, an operator's rm -rf) makes
+    // its manifest moot: don't resurrect the dir just to describe nothing.
+    std::error_code ec;
+    if (!fs::is_directory(dir_, ec)) {
+      dirty_ = 0;
+      return;
+    }
+    flush_locked();
+  }
+
+  void debug_backdate(std::int64_t last_used) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure_loaded_locked();
+    DirLock dir_lock(dir_);
+    merge_manifest(mem_, read_manifest_disk(dir_));
+    max_seq_ = std::max(max_seq_, max_seq(mem_));
+    for (auto& [file, entry] : mem_) entry.last_used = last_used;
+    write_manifest_disk(dir_, mem_);
+    dirty_ = 0;
+  }
+
+  ArtifactGcResult gc(std::uint64_t max_bytes, double max_age_s);
+
+ private:
+  static std::vector<ManifestCache*>& instances_storage() {
+    static std::vector<ManifestCache*> list;
+    return list;
+  }
+  static std::mutex& instances_mutex() {
+    static std::mutex mutex;
+    return mutex;
+  }
+  static std::vector<ManifestCache*> instances() {
+    std::lock_guard<std::mutex> lock(instances_mutex());
+    return instances_storage();
+  }
+
+  void ensure_loaded_locked() {
+    if (loaded_) return;
+    mem_ = read_manifest_disk(dir_);
+    max_seq_ = max_seq(mem_);
+    loaded_ = true;
+    std::lock_guard<std::mutex> lock(instances_mutex());
+    instances_storage().push_back(this);
+  }
+
+  /// Merge-with-disk + write, under the directory lock.  Assumes mutex_.
+  void flush_locked() {
+    DirLock dir_lock(dir_);
+    merge_manifest(mem_, read_manifest_disk(dir_));
+    max_seq_ = std::max(max_seq_, max_seq(mem_));
+    write_manifest_disk(dir_, mem_);
+    dirty_ = 0;
+  }
+
+  std::mutex mutex_;
+  fs::path dir_;
+  Manifest mem_;
+  bool loaded_ = false;
+  unsigned dirty_ = 0;
+  std::uint64_t max_seq_ = 0;
+};
+
 }  // namespace
+
+// --- DigestLock ------------------------------------------------------------
+
+DigestLock::DigestLock(const std::string& dir,
+                       const std::string& artifact_name) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = dir + "/" + artifact_name + ".lock";
+  // open / flock / verify loop: the GC may unlink a lock file between our
+  // open and flock (it only reclaims locks nobody holds), and a lock on an
+  // unlinked inode excludes nobody — so after acquiring, the fd's inode
+  // must still be the one the path names, else retry on the fresh file.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+    if (fd < 0) return;  // degrade: per-process single-flight only
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      if (errno != EWOULDBLOCK) {
+        ::close(fd);  // e.g. ENOLCK: filesystem refuses advisory locks
+        return;
+      }
+      waited_ = true;  // another process is building this digest right now
+      if (::flock(fd, LOCK_EX) != 0) {
+        ::close(fd);
+        return;
+      }
+    }
+    struct stat held {};
+    struct stat current {};
+    if (::fstat(fd, &held) == 0 && ::stat(path.c_str(), &current) == 0 &&
+        held.st_ino == current.st_ino && held.st_dev == current.st_dev) {
+      fd_ = fd;
+      return;
+    }
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+  }
+}
+
+DigestLock::~DigestLock() {
+  // Release but never unlink: unlinking a lock file another process has
+  // already opened creates two holders of different inodes.  Empty .lock
+  // sidecars are reclaimed by the GC sweep (which checks acquirability).
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+}
+
+// --- v2 binary artifact container -------------------------------------------
 
 std::string artifact_file_name(const std::string& kind, int version,
                                const std::string& hex) {
-  return kind + "-v" + std::to_string(version) + "-" + hex + ".txt";
+  return kind + "-v" + std::to_string(version) + "-" + hex + ".bin";
 }
 
 bool read_artifact_payload(const std::string& path, const std::string& kind,
-                           int version, const std::string& hex,
+                           int version, std::uint64_t digest,
                            std::string& payload_out) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return false;  // cold store: not a failure
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string blob = buffer.str();
   // The file name is the address, but never trust content blindly: the
-  // header repeats the kind, format version and full key digest (a renamed
-  // or hand-edited artifact must re-prove its identity before the payload
-  // is even parsed).
-  std::string magic, file_kind, digest_hex;
-  int file_version = 0;
-  in >> magic >> file_kind >> file_version >> digest_hex;
-  if (!in || magic != "seo-artifact" || file_kind != kind ||
-      file_version != version || digest_hex != hex)
-    throw ContractViolation("artifact header does not match its key: " + path);
-  in.get();  // consume the newline terminating the header
-  std::ostringstream payload;
-  payload << in.rdbuf();
-  payload_out = payload.str();
-  return true;
+  // checksummed header repeats the kind, format version and full key
+  // digest (a renamed or hand-edited artifact must re-prove its identity
+  // before the payload is even parsed), and the payload carries its own
+  // checksum so truncation or bit rot surfaces here, not as a wrong value.
+  try {
+    BinaryReader r{std::string_view(blob)};
+    const std::size_t start = r.offset();
+    char magic[sizeof kArtifactMagic];
+    r.bytes(magic, sizeof magic);
+    if (std::memcmp(magic, kArtifactMagic, sizeof magic) != 0)
+      throw ContractViolation("not a seo-artifact container: " + path);
+    const std::uint16_t container = r.u16();
+    if (container != kArtifactContainerVersion)
+      throw ContractViolation("unsupported artifact container version " +
+                              std::to_string(container) + ": " + path);
+    const std::string file_kind = r.str(256);
+    const std::uint32_t file_version = r.u32();
+    const std::uint64_t file_digest = r.u64();
+    const std::uint64_t payload_size = r.u64();
+    r.verify_checksum_from(start, "artifact header");
+    if (file_kind != kind ||
+        file_version != static_cast<std::uint32_t>(version) ||
+        file_digest != digest)
+      throw ContractViolation("artifact header does not match its key: " +
+                              path);
+    const std::size_t payload_start = r.offset();
+    const std::string_view payload = r.view(payload_size);
+    r.verify_checksum_from(payload_start, "artifact payload");
+    r.require_exhausted("artifact container");
+    payload_out.assign(payload);
+    return true;
+  } catch (const BinaryIoError& e) {
+    throw ContractViolation("corrupt artifact container " + path + ": " +
+                            e.what());
+  }
 }
 
 void write_artifact(const ArtifactDiskOptions& disk, const std::string& kind,
-                    int version, const std::string& hex,
+                    int version, std::uint64_t digest,
                     const std::string& payload) {
   const fs::path dir(disk.dir);
-  const std::string name = artifact_file_name(kind, version, hex);
+  const std::string name =
+      artifact_file_name(kind, version, fingerprint_hex(digest));
   const fs::path path = dir / name;
   // Temp-write + rename so concurrent processes only ever observe complete
   // artifacts; the pid suffix keeps same-key writers from sharing a temp
   // file (their contents are identical, so last rename winning is fine).
   const fs::path tmp =
-      dir / (name + ".tmp." + std::to_string(static_cast<long long>(::getpid())));
+      dir /
+      (name + ".tmp." + std::to_string(static_cast<long long>(::getpid())));
+  std::string blob;
+  BinaryWriter w(blob);
+  const std::size_t start = w.mark();
+  w.bytes(kArtifactMagic, sizeof kArtifactMagic);
+  w.u16(kArtifactContainerVersion);
+  w.str(kind);
+  w.u32(static_cast<std::uint32_t>(version));
+  w.u64(digest);
+  w.u64(payload.size());
+  w.checksum_from(start);
+  const std::size_t payload_start = w.mark();
+  w.bytes(payload.data(), payload.size());
+  w.checksum_from(payload_start);
   try {
     fs::create_directories(dir);
-    std::uint64_t bytes = 0;
     {
-      std::ofstream out(tmp);
+      std::ofstream out(tmp, std::ios::binary);
       if (!out) throw ContractViolation("cannot open " + tmp.string());
-      out << "seo-artifact " << kind << " " << version << " " << hex << "\n"
-          << payload;
+      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
       if (!out) throw ContractViolation("short write to " + tmp.string());
     }
-    bytes = static_cast<std::uint64_t>(fs::file_size(tmp));
     fs::rename(tmp, path);
-    record_use(dir, name, bytes);
+    ManifestCache::for_dir(dir).record_use(name, blob.size());
   } catch (...) {
     std::error_code ec;
     fs::remove(tmp, ec);
@@ -223,30 +524,37 @@ void touch_manifest(const std::string& dir, const std::string& file) {
     std::error_code ec;
     const auto size = fs::file_size(fs::path(dir) / file, ec);
     if (!ec) bytes = static_cast<std::uint64_t>(size);
-    record_use(fs::path(dir), file, bytes);
+    ManifestCache::for_dir(fs::path(dir)).record_use(file, bytes);
   } catch (const std::exception& e) {
     log_warn() << "artifact store: manifest touch failed for " << file << " ("
                << e.what() << ")";
   }
 }
 
-}  // namespace artifact_detail
+void flush_manifests() { ManifestCache::flush_all(); }
 
-ArtifactGcResult artifact_store_gc(const std::string& dir,
-                                   std::uint64_t max_bytes,
-                                   double max_age_s) {
-  using artifact_detail::is_tmp_file;
-  using artifact_detail::kStaleTmpAgeS;
-  using artifact_detail::Manifest;
-  using artifact_detail::ManifestEntry;
+void debug_backdate_manifest(const std::string& dir, std::int64_t last_used) {
+  ManifestCache::for_dir(fs::path(dir)).debug_backdate(last_used);
+}
+
+// --- GC ---------------------------------------------------------------------
+
+namespace {
+
+ArtifactGcResult ManifestCache::gc(std::uint64_t max_bytes, double max_age_s) {
   ArtifactGcResult result;
-  const fs::path root(dir);
   std::error_code ec;
-  if (!fs::is_directory(root, ec)) return result;
+  if (!fs::is_directory(dir_, ec)) return result;
 
-  std::lock_guard<std::mutex> lock(artifact_detail::manifest_mutex());
-  auto manifest = artifact_detail::read_manifest(root);
-  const std::int64_t now = artifact_detail::now_unix();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ensure_loaded_locked();
+  // The sweep runs under the directory lock with a freshly merged view:
+  // deciding LRU order from a stale in-memory manifest could delete
+  // artifacts another process just stored or touched.
+  DirLock dir_lock(dir_);
+  merge_manifest(mem_, read_manifest_disk(dir_));
+  max_seq_ = std::max(max_seq_, max_seq(mem_));
+  const std::int64_t now = now_unix();
 
   struct Candidate {
     std::string name;
@@ -255,10 +563,12 @@ ArtifactGcResult artifact_store_gc(const std::string& dir,
     std::int64_t last_used = 0;
   };
   std::vector<Candidate> candidates;
-  for (const auto& dirent : fs::directory_iterator(root, ec)) {
+  for (const auto& dirent : fs::directory_iterator(dir_, ec)) {
     if (!dirent.is_regular_file()) continue;
     const std::string name = dirent.path().filename().string();
-    if (name == artifact_detail::kManifestName) continue;
+    if (name == kManifestBinName || name == kManifestTextName ||
+        name == kManifestLockName)
+      continue;
     if (is_tmp_file(name)) {
       // A temp file is either a live writer mid-store or debris from a
       // crash; only the stale kind is removed.
@@ -269,18 +579,37 @@ ArtifactGcResult artifact_store_gc(const std::string& dir,
                    fs::file_time_type::clock::now() - mtime)
                    .count();
       if (age_s > kStaleTmpAgeS) {
+        // Bookkeeping debris, not an artifact: reclaimed silently (it is
+        // not part of `scanned`, so it must not inflate `removed` either).
         std::error_code rm;
         fs::remove(dirent.path(), rm);
-        if (!rm) ++result.removed;
       }
+      continue;
+    }
+    if (is_lock_file(name)) {
+      // A digest-lock sidecar is reclaimed only when nobody holds it (an
+      // acquirable lock is an idle one).  A racer that just opened the
+      // path re-verifies its inode after acquiring and retries on the
+      // fresh file, so unlinking here is safe.
+      const int fd =
+          ::open(dirent.path().c_str(), O_RDWR | O_CLOEXEC);
+      if (fd < 0) continue;
+      if (::flock(fd, LOCK_EX | LOCK_NB) == 0) {
+        // Like stale temp files, sidecars are debris outside the
+        // scanned/removed artifact accounting.
+        std::error_code rm;
+        fs::remove(dirent.path(), rm);
+        ::flock(fd, LOCK_UN);
+      }
+      ::close(fd);
       continue;
     }
     Candidate c;
     c.name = name;
     c.bytes = static_cast<std::uint64_t>(dirent.file_size(ec));
     if (ec) c.bytes = 0;
-    const auto it = manifest.find(name);
-    if (it != manifest.end()) {
+    const auto it = mem_.find(name);
+    if (it != mem_.end()) {
       // Disk sizes win over manifest bookkeeping (the file is the truth).
       c.seq = it->second.seq;
       c.last_used = it->second.last_used;
@@ -296,7 +625,11 @@ ArtifactGcResult artifact_store_gc(const std::string& dir,
   result.scanned = candidates.size();
   if (candidates.empty()) {
     // Still drop manifest entries for files that no longer exist.
-    if (!manifest.empty()) artifact_detail::write_manifest(root, Manifest{});
+    if (!mem_.empty()) {
+      mem_.clear();
+      write_manifest_disk(dir_, mem_);
+      dirty_ = 0;
+    }
     return result;
   }
 
@@ -322,7 +655,7 @@ ArtifactGcResult artifact_store_gc(const std::string& dir,
       continue;  // age cap must still examine every remaining file
     }
     std::error_code rm;
-    fs::remove(root / candidates[i].name, rm);
+    fs::remove(dir_ / candidates[i].name, rm);
     if (rm) continue;  // unremovable: leave its bytes counted
     removed[i] = true;
     total -= candidates[i].bytes;
@@ -330,7 +663,8 @@ ArtifactGcResult artifact_store_gc(const std::string& dir,
   }
   result.bytes_after = total;
 
-  // Rewrite the manifest to exactly the surviving files.
+  // The manifest becomes exactly the surviving files, in memory and on
+  // disk (entries for files deleted here or by other processes drop out).
   Manifest survivors;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (removed[i]) continue;
@@ -340,8 +674,21 @@ ArtifactGcResult artifact_store_gc(const std::string& dir,
     entry.last_used = candidates[i].last_used;
     survivors[candidates[i].name] = entry;
   }
-  artifact_detail::write_manifest(root, survivors);
+  mem_ = std::move(survivors);
+  write_manifest_disk(dir_, mem_);
+  dirty_ = 0;
   return result;
+}
+
+}  // namespace
+
+}  // namespace artifact_detail
+
+ArtifactGcResult artifact_store_gc(const std::string& dir,
+                                   std::uint64_t max_bytes,
+                                   double max_age_s) {
+  return artifact_detail::ManifestCache::for_dir(fs::path(dir))
+      .gc(max_bytes, max_age_s);
 }
 
 }  // namespace seo

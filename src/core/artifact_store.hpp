@@ -21,18 +21,28 @@
 //    caller already holds (values are shared_ptr-owned).  Long-lived
 //    services can therefore leave the store on without unbounded growth.
 //  * Disk-layered with GC (optional).  With a cache directory, artifacts
-//    persist under versioned digest-addressed file names (temp-write +
+//    persist as fixed-width little-endian FNV-1a-checksummed binary
+//    containers under versioned digest-addressed file names (temp-write +
 //    atomic rename) and reload across processes.  A per-directory manifest
-//    tracks logical last-use order and sizes so a GC sweep can enforce
-//    size/age caps by LRU — the artifact dir is provably bounded instead
-//    of growing forever.  Unreadable, corrupt or mismatched artifacts are
-//    never trusted: they count as disk_failures, rebuild in process, and
-//    are rewritten.
+//    (held in memory, flushed periodically under an advisory directory
+//    lock) tracks logical last-use order and sizes so a GC sweep can
+//    enforce size/age caps by LRU — the artifact dir is provably bounded
+//    instead of growing forever.  Unreadable, corrupt or mismatched
+//    artifacts are never trusted: they count as disk_failures, rebuild in
+//    process, and are rewritten.
+//  * Cross-process single-flight.  A cold disk miss serializes on a
+//    per-digest advisory file lock (`<artifact>.lock` sidecar, flock), so
+//    N cold processes sharing one dir build each distinct artifact exactly
+//    once: the first holder builds and stores, every later holder re-reads
+//    the artifact the lock ordered it behind.  A crashed holder's lock is
+//    released by the OS, so stale locks are stolen for free; a filesystem
+//    that refuses locks degrades to per-process single-flight, never to a
+//    wrong value.
 //
 // Determinism guarantee: a hit returns a value bit-identical to a fresh
-// build (in memory trivially; on disk because every kind's serialization
-// round-trips exactly), so any run is byte-identical with the store on or
-// off — locked by the sweep/fleet golden tests per kind.
+// build (in memory trivially; on disk because every kind's encode/decode
+// round-trips raw IEEE-754 bits), so any run is byte-identical with the
+// store on or off — locked by the sweep/fleet golden tests per kind.
 //
 // An artifact kind is described by a Traits type:
 //
@@ -41,27 +51,30 @@
 //     using Value = MyValue;  // immutable once built
 //     static const char* kind();            // short tag: file names, stats
 //     static int version();                 // bump on format/schema change
-//     static void serialize(const Value&, std::ostream&);
-//     static Value deserialize(std::istream&);       // throws on bad data
+//     static void encode(const Value&, BinaryWriter&);
+//     static Value decode(BinaryReader&);            // throws on bad data
 //     static void validate(const Key&, const Value&);// defense in depth
 //     static std::size_t weight_bytes(const Value&); // byte-budget weight
 //   };
+//
+// The encode/decode pair speaks core/binary_io — the same canonical byte
+// discipline as the seo-trace stream — and must consume exactly the bytes
+// it wrote (the store rejects trailing bytes as corruption).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
-#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/binary_io.hpp"
 #include "core/fingerprint.hpp"
 #include "util/expect.hpp"
 #include "util/log.hpp"
@@ -78,6 +91,8 @@ struct ArtifactStoreStats {
   std::uint64_t misses = 0;
   std::uint64_t builds = 0;         ///< builder invocations actually run
   std::uint64_t waits = 0;
+  std::uint64_t lock_waits = 0;     ///< cold misses that blocked on another
+                                    ///< process's per-digest artifact lock
   std::uint64_t evictions = 0;      ///< in-memory LRU evictions
   std::uint64_t bytes = 0;          ///< resident payload bytes (approx)
   std::uint64_t disk_loads = 0;     ///< misses served from the artifact dir
@@ -155,27 +170,66 @@ class ArtifactStoreRegistry {
 
 namespace artifact_detail {
 
-/// "<kind>-v<version>-<hex>.txt" — the digest-addressed artifact name.
+/// "<kind>-v<version>-<hex>.bin" — the digest-addressed artifact name.
 std::string artifact_file_name(const std::string& kind, int version,
                                const std::string& hex);
 
-/// Reads `path`, verifies the "seo-artifact <kind> <version> <hex>" header
-/// (the file NAME is the address, but content must re-prove its identity),
-/// and returns the remaining payload.  Returns false when the file does
-/// not exist (a cold store, not a failure); throws on a bad header.
+/// Reads `path` and verifies the v2 binary container: magic, container
+/// version, kind, Traits version, key digest, payload size, header
+/// checksum, then the payload's own checksum (the file NAME is the
+/// address, but content must re-prove its identity).  Returns false when
+/// the file does not exist (a cold store, not a failure); throws
+/// ContractViolation on any mismatch, truncation or checksum failure.
 bool read_artifact_payload(const std::string& path, const std::string& kind,
-                           int version, const std::string& hex,
+                           int version, std::uint64_t digest,
                            std::string& payload_out);
 
-/// Writes header + payload via temp-write + atomic rename and records the
-/// file in the directory manifest.  Throws on I/O failure.
+/// Wraps `payload` in the v2 binary container, writes it via temp-write +
+/// atomic rename and records the file in the directory manifest.  Throws
+/// on I/O failure.
 void write_artifact(const ArtifactDiskOptions& disk, const std::string& kind,
-                    int version, const std::string& hex,
+                    int version, std::uint64_t digest,
                     const std::string& payload);
 
 /// Marks `file` as most-recently-used in the directory manifest (so disk
-/// LRU order reflects loads, not only stores).  Best effort.
+/// LRU order reflects loads, not only stores).  Best effort, in memory —
+/// flushed to disk periodically and on GC/exit.
 void touch_manifest(const std::string& dir, const std::string& file);
+
+/// Flushes every dirty in-memory manifest to its directory (merging with
+/// concurrent writers under the directory lock).  Runs automatically every
+/// few updates, on GC and at process exit; tests and long-lived services
+/// can force it.
+void flush_manifests();
+
+/// Test hook: rewrites every entry of `dir`'s manifest (in memory and on
+/// disk) with the given last-use timestamp, so age-cap GC behaviour can be
+/// exercised without waiting.
+void debug_backdate_manifest(const std::string& dir, std::int64_t last_used);
+
+/// RAII per-digest advisory file lock (`flock` on an `<artifact>.lock`
+/// sidecar) — the cross-process single-flight primitive.  Construction
+/// blocks until the lock is held; `waited()` reports whether another
+/// process held it first (surfaced as `lock_waits` in the stats).  A
+/// holder's crash releases the lock at the OS level, so stale locks are
+/// stolen simply by acquiring them.  On filesystems that refuse advisory
+/// locks the lock degrades to a no-op (`held()` false): single-flight
+/// falls back to per-process, correctness is unaffected.
+class DigestLock {
+ public:
+  /// Acquires `<dir>/<artifact_name>.lock`, creating it if needed.
+  DigestLock(const std::string& dir, const std::string& artifact_name);
+  ~DigestLock();
+  DigestLock(const DigestLock&) = delete;
+  DigestLock& operator=(const DigestLock&) = delete;
+
+  bool held() const { return fd_ >= 0; }
+  bool waited() const { return waited_; }
+
+ private:
+  int fd_ = -1;
+  bool waited_ = false;
+};
 
 }  // namespace artifact_detail
 
@@ -253,16 +307,37 @@ class ArtifactStore {
     // the shared future until the value or the exception lands.
     ValuePtr value;
     try {
-      if (!disk.dir.empty()) value = load_artifact(key, disk);
+      DiskLoad first = DiskLoad::kCold;
+      if (!disk.dir.empty()) first = load_artifact(key, disk, value);
       if (!value) {
-        std::unique_ptr<Value> built = build();
-        SEO_ENSURE(built != nullptr);
-        value = ValuePtr(std::move(built));
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          ++stats_.builds;
+        // Cold (or corrupt) on disk: serialize the build on the per-digest
+        // cross-process lock.  Another process may complete the same build
+        // between our first look and the acquisition — even without
+        // blocking — so a cold miss always re-checks the disk under the
+        // held lock; only a still-absent artifact is built.  A corrupt
+        // first read skips the re-check (the artifact is known bad; the
+        // rebuild overwrites and heals it).
+        std::unique_ptr<artifact_detail::DigestLock> dlock;
+        if (!disk.dir.empty()) {
+          dlock = std::make_unique<artifact_detail::DigestLock>(
+              disk.dir, artifact_name(key));
+          if (dlock->waited()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.lock_waits;
+          }
+          if (dlock->held() && first == DiskLoad::kCold)
+            load_artifact(key, disk, value);
         }
-        if (!disk.dir.empty()) store_artifact(key, *value, disk);
+        if (!value) {
+          std::unique_ptr<Value> built = build();
+          SEO_ENSURE(built != nullptr);
+          value = ValuePtr(std::move(built));
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.builds;
+          }
+          if (!disk.dir.empty()) store_artifact(key, *value, disk);
+        }
       }
     } catch (...) {
       {
@@ -421,24 +496,34 @@ class ArtifactStore {
     }
   }
 
-  ValuePtr load_artifact(const Key& key, const ArtifactDiskOptions& disk) {
+  /// Outcome of one disk probe: `kCold` = no artifact on disk, `kLoaded` =
+  /// value decoded and validated, `kFailed` = an artifact existed but was
+  /// corrupt/mismatched (counted as a disk failure; the rebuild heals it).
+  enum class DiskLoad { kCold, kLoaded, kFailed };
+
+  DiskLoad load_artifact(const Key& key, const ArtifactDiskOptions& disk,
+                         ValuePtr& out) {
     const std::string name = artifact_name(key);
     const std::string path = disk.dir + "/" + name;
     try {
       std::string payload;
       if (!artifact_detail::read_artifact_payload(
-              path, Traits::kind(), Traits::version(), key.hex(), payload))
-        return nullptr;  // cold store: not a failure
-      std::istringstream in(payload);
-      auto value = std::make_shared<Value>(Traits::deserialize(in));
+              path, Traits::kind(), Traits::version(), key.digest(), payload))
+        return DiskLoad::kCold;  // cold store: not a failure
+      BinaryReader in{std::string_view(payload)};
+      auto value = std::make_shared<Value>(Traits::decode(in));
+      in.require_exhausted("artifact payload");
       // Defense in depth: the payload must agree with the key even though
       // the header digest already matched (catches a truncated rewrite
       // that kept the header intact).
       Traits::validate(key, *value);
       artifact_detail::touch_manifest(disk.dir, name);
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.disk_loads;
-      return value;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_loads;
+      }
+      out = std::move(value);
+      return DiskLoad::kLoaded;
     } catch (const std::exception& e) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -449,17 +534,18 @@ class ArtifactStore {
       log_warn() << Traits::kind()
                  << " artifact store: rebuilding after unusable artifact "
                  << path << " (" << e.what() << ")";
-      return nullptr;
+      return DiskLoad::kFailed;
     }
   }
 
   void store_artifact(const Key& key, const Value& value,
                       const ArtifactDiskOptions& disk) {
     try {
-      std::ostringstream payload;
-      Traits::serialize(value, payload);
+      std::string payload;
+      BinaryWriter writer(payload);
+      Traits::encode(value, writer);
       artifact_detail::write_artifact(disk, Traits::kind(), Traits::version(),
-                                      key.hex(), payload.str());
+                                      key.digest(), payload);
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.disk_stores;
     } catch (const std::exception& e) {

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "core/binary_io.hpp"
 #include "util/expect.hpp"
 
 namespace seo::nn {
@@ -206,6 +207,38 @@ Mlp Mlp::load(std::istream& in) {
   Vector flat(net.parameter_count());
   for (auto& v : flat) in >> v;
   SEO_EXPECT(static_cast<bool>(in));
+  net.set_parameters(flat);
+  return net;
+}
+
+void Mlp::encode(seo::BinaryWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(config_.sizes.size()));
+  for (const auto s : config_.sizes)
+    out.u32(static_cast<std::uint32_t>(s));
+  // Activations travel as their canonical names (self-describing and
+  // stable against enum reordering), not raw enum values.
+  out.str(to_string(config_.hidden_act));
+  out.str(to_string(config_.output_act));
+  for (const double v : flatten_parameters()) out.f64(v);
+}
+
+Mlp Mlp::decode(seo::BinaryReader& in) {
+  const std::uint32_t n_sizes = in.u32();
+  SEO_EXPECT(n_sizes >= 2 && n_sizes < 64);
+  MlpConfig config;
+  config.sizes.resize(n_sizes);
+  for (auto& s : config.sizes) {
+    s = in.u32();
+    SEO_EXPECT(s >= 1 && s <= (1u << 20));
+  }
+  config.hidden_act = activation_from_string(in.str(64));
+  config.output_act = activation_from_string(in.str(64));
+  // The parameter block length is fully determined by the architecture;
+  // anything else is corruption, refused before the copy.
+  Mlp net(config);
+  SEO_EXPECT(in.remaining() == net.parameter_count() * sizeof(double));
+  Vector flat(net.parameter_count());
+  for (auto& v : flat) v = in.f64();
   net.set_parameters(flat);
   return net;
 }

@@ -13,6 +13,11 @@
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 
+namespace seo {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace seo
+
 namespace seo::nn {
 
 /// Architecture description: layer widths and per-layer activations.
@@ -117,6 +122,13 @@ class Mlp {
   /// Text serialization (architecture + parameters), round-trippable.
   void save(std::ostream& out) const;
   static Mlp load(std::istream& in);
+
+  /// Binary serialization (core/binary_io) — the "cemw" artifact payload:
+  /// raw IEEE-754 parameter bits, bit-identical round trip, no decimal
+  /// formatting.  decode() enforces the same architecture contract as
+  /// load() and refuses trailing or missing bytes.
+  void encode(seo::BinaryWriter& out) const;
+  static Mlp decode(seo::BinaryReader& in);
 
  private:
   Activation layer_activation(std::size_t layer) const;

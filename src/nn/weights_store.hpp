@@ -19,8 +19,8 @@
 // CemConfig::threads is excluded from the key: candidate scoring fans out
 // into index-addressed slots, so the trained weights are bit-identical for
 // any thread count (locked by tests).  Serialization is the canonical
-// Mlp::save/load text format, which round-trips every double exactly at 17
-// significant digits — a warm load is bit-identical to the training run it
+// binary Mlp::encode/decode payload, which round-trips every double as its
+// raw IEEE-754 bits — a warm load is bit-identical to the training run it
 // replaces.
 #pragma once
 
@@ -61,9 +61,12 @@ struct CemWeightsTraits {
   using Key = CemWeightsKey;
   using Value = Mlp;
   static const char* kind() { return "cemw"; }
-  static int version() { return 1; }
-  static void serialize(const Mlp& net, std::ostream& out) { net.save(out); }
-  static Mlp deserialize(std::istream& in) { return Mlp::load(in); }
+  /// v2 = binary container + binary weights payload.
+  static int version() { return 2; }
+  static void encode(const Mlp& net, seo::BinaryWriter& out) {
+    net.encode(out);
+  }
+  static Mlp decode(seo::BinaryReader& in) { return Mlp::decode(in); }
   /// Architecture must match the key and every parameter must be finite —
   /// a truncated or poisoned payload must rebuild, never drive a policy.
   static void validate(const Key& key, const Mlp& net);

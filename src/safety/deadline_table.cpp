@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "core/binary_io.hpp"
 #include "util/expect.hpp"
 #include "util/thread_pool.hpp"
 
@@ -147,6 +148,48 @@ DeadlineTable DeadlineTable::load(std::istream& in) {
                              static_cast<std::size_t>(config.speed_bins));
   for (auto& v : values) in >> v;
   SEO_EXPECT(static_cast<bool>(in));
+  for (const double v : values) SEO_EXPECT(std::isfinite(v));
+  return DeadlineTable(config, body_radius, std::move(values));
+}
+
+void DeadlineTable::encode(BinaryWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(config_.distance_bins));
+  out.u32(static_cast<std::uint32_t>(config_.bearing_bins));
+  out.u32(static_cast<std::uint32_t>(config_.speed_bins));
+  out.f64(config_.max_distance);
+  out.f64(config_.max_speed);
+  out.f64(config_.obstacle_radius);
+  out.f64(body_radius_);
+  for (const double v : values_) out.f64(v);
+}
+
+DeadlineTable DeadlineTable::decode(BinaryReader& in) {
+  DeadlineTableConfig config;
+  config.distance_bins = static_cast<int>(in.u32());
+  config.bearing_bins = static_cast<int>(in.u32());
+  config.speed_bins = static_cast<int>(in.u32());
+  config.max_distance = in.f64();
+  config.max_speed = in.f64();
+  config.obstacle_radius = in.f64();
+  const double body_radius = in.f64();
+  // Same contract as load(): a corrupted artifact must fail loudly here,
+  // not poison every subsequent episode.  The shape is validated before it
+  // can drive an allocation, and the remaining byte count must be exactly
+  // the cell block.
+  SEO_EXPECT(config.distance_bins >= 2 && config.distance_bins <= 100000 &&
+             config.bearing_bins >= 2 && config.bearing_bins <= 100000 &&
+             config.speed_bins >= 2 && config.speed_bins <= 100000);
+  SEO_EXPECT(std::isfinite(config.max_distance) && config.max_distance > 0.0);
+  SEO_EXPECT(std::isfinite(config.max_speed) && config.max_speed > 0.0);
+  SEO_EXPECT(std::isfinite(config.obstacle_radius) &&
+             config.obstacle_radius > 0.0);
+  SEO_EXPECT(std::isfinite(body_radius) && body_radius > 0.0);
+  const std::size_t cells = static_cast<std::size_t>(config.distance_bins) *
+                            static_cast<std::size_t>(config.bearing_bins) *
+                            static_cast<std::size_t>(config.speed_bins);
+  SEO_EXPECT(in.remaining() == cells * sizeof(double));
+  std::vector<double> values(cells);
+  for (auto& v : values) v = in.f64();
   for (const double v : values) SEO_EXPECT(std::isfinite(v));
   return DeadlineTable(config, body_radius, std::move(values));
 }

@@ -84,9 +84,9 @@ struct RolloutTableKey {
 };
 
 namespace table_artifact_detail {
-/// Shared serialize/deserialize/validate for both DeadlineTable kinds: the
-/// plain save/load text payload (round-trips doubles exactly) plus the
-/// shape check against the key that the payload alone cannot prove.
+/// Shared encode/decode/validate for both DeadlineTable kinds: the binary
+/// DeadlineTable payload (raw IEEE-754 bits, bit-exact round trip) plus
+/// the shape check against the key that the payload alone cannot prove.
 void validate_table_shape(const DeadlineTableConfig& expected,
                           double expected_body_radius,
                           const DeadlineTable& table);
@@ -97,15 +97,16 @@ struct LipschitzTableTraits {
   using Key = DeadlineTableKey;
   using Value = DeadlineTable;
   static const char* kind() { return "dtable"; }
-  /// Container format version: v2 is the generic `seo-artifact` header
-  /// (PR 4's bespoke v1 files are simply never addressed again and get
+  /// Container format version: v3 is the binary `seo-artifact` container
+  /// with the binary table payload (v2's text files — like PR 4's bespoke
+  /// v1 files before them — are simply never addressed again and get
   /// reclaimed by the GC sweep).
-  static int version() { return 2; }
-  static void serialize(const DeadlineTable& table, std::ostream& out) {
-    table.save(out);
+  static int version() { return 3; }
+  static void encode(const DeadlineTable& table, BinaryWriter& out) {
+    table.encode(out);
   }
-  static DeadlineTable deserialize(std::istream& in) {
-    return DeadlineTable::load(in);
+  static DeadlineTable decode(BinaryReader& in) {
+    return DeadlineTable::decode(in);
   }
   static void validate(const Key& key, const DeadlineTable& table) {
     table_artifact_detail::validate_table_shape(key.table, key.body_radius,
@@ -121,12 +122,13 @@ struct RolloutTableTraits {
   using Key = RolloutTableKey;
   using Value = DeadlineTable;
   static const char* kind() { return "rphi"; }
-  static int version() { return 1; }
-  static void serialize(const DeadlineTable& table, std::ostream& out) {
-    table.save(out);
+  /// v2 = binary container + binary table payload.
+  static int version() { return 2; }
+  static void encode(const DeadlineTable& table, BinaryWriter& out) {
+    table.encode(out);
   }
-  static DeadlineTable deserialize(std::istream& in) {
-    return DeadlineTable::load(in);
+  static DeadlineTable decode(BinaryReader& in) {
+    return DeadlineTable::decode(in);
   }
   static void validate(const Key& key, const DeadlineTable& table) {
     table_artifact_detail::validate_table_shape(key.table, key.body_radius,
@@ -189,7 +191,7 @@ class DeadlineTableCache {
   /// worker, `requested` otherwise.
   static int effective_build_threads(int requested);
 
-  /// Versioned artifact file name for `key` ("dtable-v2-<hex>.txt").
+  /// Versioned artifact file name for `key` ("dtable-v3-<hex>.bin").
   static std::string artifact_name(const DeadlineTableKey& key) {
     return Store::artifact_name(key);
   }

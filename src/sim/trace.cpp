@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/binary_io.hpp"
 #include "core/fingerprint.hpp"
 #include "util/expect.hpp"
 
@@ -86,137 +87,75 @@ constexpr std::size_t kOffloadPayload = 4 + 1 + 4 * 8;
 constexpr std::size_t kEpisodeEndPayload = 8 + 8 + 1 + 3 * 8 + 2 * 8 + 2 * 8;
 constexpr std::size_t kStreamEndPayload = 8;
 
-// Explicit little-endian byte shuffles, so the wire format is canonical
-// regardless of host layout (the same discipline core/fingerprint uses).
-void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-void put_u16(std::string& out, std::uint16_t v) {
-  for (int i = 0; i < 2; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-void put_f64(std::string& out, double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof bits);
-  put_u64(out, bits);
-}
-
-/// Bounds-checked little-endian decoder over one record payload.
-class PayloadReader {
- public:
-  PayloadReader(const std::string& data) : data_(data) {}
-
-  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
-  std::uint16_t u16() { return static_cast<std::uint16_t>(gather(2)); }
-  std::uint32_t u32() { return static_cast<std::uint32_t>(gather(4)); }
-  std::uint64_t u64() { return gather(8); }
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
-  }
-  std::string str(std::size_t size) {
-    const char* p = take(size);
-    return std::string(p, size);
-  }
-  bool exhausted() const { return offset_ == data_.size(); }
-
- private:
-  const char* take(std::size_t size) {
-    if (offset_ + size > data_.size())
-      throw TraceStreamError(TraceStreamErrc::kBadRecord,
-                             "trace record payload shorter than its fields");
-    const char* p = data_.data() + offset_;
-    offset_ += size;
-    return p;
-  }
-  std::uint64_t gather(std::size_t size) {
-    const char* p = take(size);
-    std::uint64_t v = 0;
-    for (std::size_t i = 0; i < size; ++i)
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
-           << (8 * i);
-    return v;
-  }
-
-  const std::string& data_;
-  std::size_t offset_ = 0;
-};
+// Encoding goes through core/binary_io (BinaryWriter/BinaryReader): the
+// same explicit little-endian byte shuffles the artifact store speaks, so
+// the two on-disk formats cannot drift apart.
 
 /// Frames `payload` as one record (type, size, payload, FNV-1a checksum)
 /// appended to `out`.
 void append_record(std::string& out, RecordType type,
                    const std::string& payload) {
   SEO_ASSERT(payload.size() <= kMaxPayload);
-  const std::size_t frame_start = out.size();
-  put_u8(out, type);
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  out += payload;
-  FingerprintHasher hasher;
-  hasher.mix_bytes(out.data() + frame_start, out.size() - frame_start);
-  put_u64(out, hasher.digest());
+  BinaryWriter frame(out);
+  const std::size_t frame_start = frame.mark();
+  frame.u8(type);
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.bytes(payload.data(), payload.size());
+  frame.checksum_from(frame_start);
 }
 
 void append_header(std::string& out, std::uint64_t run_digest) {
-  const std::size_t start = out.size();
-  out.append(kMagic, sizeof kMagic);
-  put_u16(out, kTraceStreamVersion);
-  put_u64(out, run_digest);
-  FingerprintHasher hasher;
-  hasher.mix_bytes(out.data() + start, out.size() - start);
-  put_u64(out, hasher.digest());
+  BinaryWriter header(out);
+  const std::size_t start = header.mark();
+  header.bytes(kMagic, sizeof kMagic);
+  header.u16(kTraceStreamVersion);
+  header.u64(run_digest);
+  header.checksum_from(start);
   SEO_ASSERT(out.size() - start == kHeaderSize);
 }
 
 std::string encode_episode_begin(const TraceEpisodeInfo& info) {
   std::string payload;
   payload.reserve(28 + info.label.size());
-  put_u64(payload, info.seed);
-  put_u64(payload, info.scenario_digest);
-  put_u32(payload, info.point_index);
-  put_u32(payload, info.vehicle);
-  put_u32(payload, static_cast<std::uint32_t>(info.label.size()));
-  payload += info.label;
+  BinaryWriter w(payload);
+  w.u64(info.seed);
+  w.u64(info.scenario_digest);
+  w.u32(info.point_index);
+  w.u32(info.vehicle);
+  w.str(info.label);
   return payload;
 }
 
 std::string encode_sample(const TraceSample& s) {
   std::string payload;
   payload.reserve(kSamplePayload);
-  put_f64(payload, s.t);
-  put_f64(payload, s.position.x);
-  put_f64(payload, s.position.y);
-  put_f64(payload, s.heading);
-  put_f64(payload, s.speed);
-  put_f64(payload, s.barrier_h);
-  put_u32(payload, static_cast<std::uint32_t>(s.delta_max));
-  put_u8(payload, static_cast<std::uint8_t>((s.unconstrained ? 1 : 0) |
-                                            (s.interval_started ? 2 : 0) |
-                                            (s.filter_engaged ? 4 : 0)));
-  put_f64(payload, s.steering);
-  put_f64(payload, s.throttle);
-  put_f64(payload, s.detection_age_s);
+  BinaryWriter w(payload);
+  w.f64(s.t);
+  w.f64(s.position.x);
+  w.f64(s.position.y);
+  w.f64(s.heading);
+  w.f64(s.speed);
+  w.f64(s.barrier_h);
+  w.u32(static_cast<std::uint32_t>(s.delta_max));
+  w.u8(static_cast<std::uint8_t>((s.unconstrained ? 1 : 0) |
+                                 (s.interval_started ? 2 : 0) |
+                                 (s.filter_engaged ? 4 : 0)));
+  w.f64(s.steering);
+  w.f64(s.throttle);
+  w.f64(s.detection_age_s);
   return payload;
 }
 
 std::string encode_offload(const OffloadEvent& e) {
   std::string payload;
   payload.reserve(kOffloadPayload);
-  put_u32(payload, static_cast<std::uint32_t>(e.pipeline));
-  put_u8(payload, e.probe ? 1 : 0);
-  put_f64(payload, e.submit_s);
-  put_f64(payload, e.bytes);
-  put_f64(payload, e.tx_time_s);
-  put_f64(payload, e.deadline_s);
+  BinaryWriter w(payload);
+  w.u32(static_cast<std::uint32_t>(e.pipeline));
+  w.u8(e.probe ? 1 : 0);
+  w.f64(e.submit_s);
+  w.f64(e.bytes);
+  w.f64(e.tx_time_s);
+  w.f64(e.deadline_s);
   return payload;
 }
 
@@ -224,19 +163,20 @@ std::string encode_episode_end(const TraceEpisodeSummary& summary,
                                const TraceEpisodeCounts& counts) {
   std::string payload;
   payload.reserve(kEpisodeEndPayload);
-  put_u64(payload, counts.samples);
-  put_u64(payload, counts.offloads);
-  put_u8(payload, static_cast<std::uint8_t>((summary.completed ? 1 : 0) |
-                                            (summary.collided ? 2 : 0) |
-                                            (summary.off_road ? 4 : 0) |
-                                            (summary.timed_out ? 8 : 0)));
-  put_f64(payload, summary.duration_s);
-  put_f64(payload, summary.avg_speed);
-  put_f64(payload, summary.min_h);
-  put_u64(payload, summary.filter_engagements);
-  put_u64(payload, summary.intervals);
-  put_f64(payload, summary.energy_actual_j);
-  put_f64(payload, summary.energy_baseline_j);
+  BinaryWriter w(payload);
+  w.u64(counts.samples);
+  w.u64(counts.offloads);
+  w.u8(static_cast<std::uint8_t>((summary.completed ? 1 : 0) |
+                                 (summary.collided ? 2 : 0) |
+                                 (summary.off_road ? 4 : 0) |
+                                 (summary.timed_out ? 8 : 0)));
+  w.f64(summary.duration_s);
+  w.f64(summary.avg_speed);
+  w.f64(summary.min_h);
+  w.u64(summary.filter_engagements);
+  w.u64(summary.intervals);
+  w.f64(summary.energy_actual_j);
+  w.f64(summary.energy_baseline_j);
   return payload;
 }
 
@@ -298,7 +238,7 @@ void TraceStreamWriter::finish() {
   finished_ = true;
   std::string tail;
   std::string payload;
-  put_u64(payload, episodes_);
+  BinaryWriter(payload).u64(episodes_);
   append_record(tail, kRecStreamEnd, payload);
   out_.write(tail.data(), static_cast<std::streamsize>(tail.size()));
   out_.flush();
@@ -338,8 +278,8 @@ TraceStreamReader::TraceStreamReader(std::istream& in, std::ostream* tee)
   if (std::memcmp(header, kMagic, sizeof kMagic) != 0)
     throw TraceStreamError(TraceStreamErrc::kBadMagic,
                            "not a seo-trace stream (magic mismatch)");
-  payload_.assign(header + sizeof kMagic, sizeof header - sizeof kMagic);
-  PayloadReader fields(payload_);
+  BinaryReader fields(
+      std::string_view(header + sizeof kMagic, sizeof header - sizeof kMagic));
   version_ = fields.u16();
   run_digest_ = fields.u64();
   const std::uint64_t stored = fields.u64();
@@ -410,7 +350,7 @@ bool TraceStreamReader::next(TraceRecord& record) {
   }
 
   // --- Payload -------------------------------------------------------------
-  PayloadReader fields(payload_);
+  BinaryReader fields{std::string_view(payload_)};
   const auto require_in_episode = [&](const char* name) {
     if (!in_episode_)
       throw TraceStreamError(
@@ -423,11 +363,19 @@ bool TraceStreamReader::next(TraceRecord& record) {
         throw TraceStreamError(TraceStreamErrc::kBadRecord,
                                "seo-trace episode-begin inside an episode");
       record.type = TraceRecord::Type::kEpisodeBegin;
-      record.episode.seed = fields.u64();
-      record.episode.scenario_digest = fields.u64();
-      record.episode.point_index = fields.u32();
-      record.episode.vehicle = fields.u32();
-      record.episode.label = fields.str(fields.u32());
+      // The only variable-length record: a corrupt length field surfaces
+      // from BinaryReader as BinaryIoError and is rebranded into the trace
+      // error taxonomy here.  Fixed-size records are size-checked up front.
+      try {
+        record.episode.seed = fields.u64();
+        record.episode.scenario_digest = fields.u64();
+        record.episode.point_index = fields.u32();
+        record.episode.vehicle = fields.u32();
+        record.episode.label = fields.str();
+      } catch (const BinaryIoError&) {
+        throw TraceStreamError(TraceStreamErrc::kBadRecord,
+                               "trace record payload shorter than its fields");
+      }
       in_episode_ = true;
       counts_ = {};
       break;
@@ -582,7 +530,7 @@ void OrderedTraceSink::finish() {
   finished_ = true;
   std::string tail;
   std::string payload;
-  put_u64(payload, episodes_);
+  BinaryWriter(payload).u64(episodes_);
   append_record(tail, kRecStreamEnd, payload);
   out_->write(tail.data(), static_cast<std::streamsize>(tail.size()));
   out_->flush();

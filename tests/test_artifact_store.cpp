@@ -3,9 +3,13 @@
 // artifact — it must fail loudly here instead), LRU memory budgets under
 // single-flight contention (no use-after-evict, in-flight builds never
 // evicted), the disk tier's manifest-driven LRU GC (the artifact dir is
-// provably bounded), and cached-vs-uncached byte-identity for the CEM
+// provably bounded), the v2 binary container (round trip, corruption
+// heal, v1-text migration), the cross-process single-flight lock
+// (fork-based: two cold processes sharing one dir build each digest
+// exactly once), and cached-vs-uncached byte-identity for the CEM
 // policy-weights kind at every thread count.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,6 +19,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "core/artifact_store.hpp"
+#include "core/binary_io.hpp"
 #include "core/fingerprint.hpp"
 #include "nn/cem.hpp"
 #include "nn/weights_store.hpp"
@@ -63,17 +69,14 @@ struct BlobTraits {
   using Value = Blob;
   static const char* kind() { return "blob"; }
   static int version() { return 1; }
-  static void serialize(const Blob& blob, std::ostream& out) {
-    out << blob.id << "\n" << blob.payload;
+  static void encode(const Blob& blob, BinaryWriter& out) {
+    out.u64(blob.id);
+    out.str(blob.payload);
   }
-  static Blob deserialize(std::istream& in) {
+  static Blob decode(BinaryReader& in) {
     Blob blob;
-    in >> blob.id;
-    if (!in) throw ContractViolation("blob artifact: bad id");
-    in.get();  // newline
-    std::ostringstream rest;
-    rest << in.rdbuf();
-    blob.payload = rest.str();
+    blob.id = in.u64();
+    blob.payload = in.str();
     return blob;
   }
   static void validate(const Key& key, const Blob& blob) {
@@ -114,11 +117,18 @@ struct TempDir {
   std::string str() const { return path.string(); }
 };
 
+/// Store bookkeeping files (either manifest generation, plus the lock
+/// sidecars) — everything in the dir that is not an artifact.
+bool is_store_metadata(const std::string& name) {
+  if (name == "manifest.bin" || name == "manifest.txt") return true;
+  return name.size() > 5 && name.compare(name.size() - 5, 5, ".lock") == 0;
+}
+
 std::vector<std::string> dir_artifacts(const std::filesystem::path& dir) {
   std::vector<std::string> names;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
-    if (name != "manifest.txt") names.push_back(name);
+    if (!is_store_metadata(name)) names.push_back(name);
   }
   std::sort(names.begin(), names.end());
   return names;
@@ -127,7 +137,7 @@ std::vector<std::string> dir_artifacts(const std::filesystem::path& dir) {
 std::uint64_t dir_bytes(const std::filesystem::path& dir) {
   std::uint64_t total = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (entry.path().filename() == "manifest.txt") continue;
+    if (is_store_metadata(entry.path().filename().string())) continue;
     total += entry.file_size();
   }
   return total;
@@ -457,11 +467,16 @@ TEST(ArtifactStoreDiskGc, SizeCapEvictsOldestByLru) {
     EXPECT_EQ(fresh.stats().disk_loads, 1u);
   }
 
-  // Cap at ~2 artifacts: the sweep must keep the most recently used ones —
-  // id=1 (just touched) and id=5 (last stored) — and drop 2, 3, 4.
-  const ArtifactGcResult result = artifact_store_gc(dir.str(), 700, 0.0);
+  // Cap at exactly 2 artifacts (sized from disk, so container framing
+  // changes cannot skew the arithmetic): the sweep must keep the most
+  // recently used ones — id=1 (just touched) and id=5 (last stored) —
+  // and drop 2, 3, 4.
+  const std::uint64_t unit = std::filesystem::file_size(
+      dir.path / BlobStore::artifact_name(BlobKey{1, 0}));
+  const std::uint64_t cap = 2 * unit;
+  const ArtifactGcResult result = artifact_store_gc(dir.str(), cap, 0.0);
   EXPECT_EQ(result.removed, 3u);
-  EXPECT_LE(result.bytes_after, 700u);
+  EXPECT_LE(result.bytes_after, cap);
   auto remaining = dir_artifacts(dir.path);
   ASSERT_EQ(remaining.size(), 2u);
   std::vector<std::string> expected = {
@@ -469,7 +484,7 @@ TEST(ArtifactStoreDiskGc, SizeCapEvictsOldestByLru) {
       BlobStore::artifact_name(BlobKey{5, 0})};
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(remaining, expected);
-  EXPECT_LE(dir_bytes(dir.path), 700u);
+  EXPECT_LE(dir_bytes(dir.path), cap);
 
   // The survivors still load cleanly (manifest rewrite kept them).
   BlobStore warm;
@@ -509,22 +524,7 @@ TEST(ArtifactStoreDiskGc, AgeCapDropsStaleArtifactsButKeepsMru) {
   }
   // Backdate every manifest entry far past any cap (the manifest is the
   // LRU/age source of truth, so tests can time-travel deterministically).
-  const std::filesystem::path manifest = dir.path / "manifest.txt";
-  {
-    std::ifstream in(manifest);
-    std::string header;
-    std::getline(in, header);
-    std::vector<std::string> lines;
-    std::uint64_t seq = 0, bytes = 0;
-    std::int64_t last_used = 0;
-    std::string file;
-    while (in >> seq >> bytes >> last_used >> file)
-      lines.push_back(std::to_string(seq) + " " + std::to_string(bytes) +
-                      " 1000 " + file);
-    std::ofstream out(manifest);
-    out << header << "\n";
-    for (const auto& line : lines) out << line << "\n";
-  }
+  artifact_detail::debug_backdate_manifest(dir.str(), 1000);
   const ArtifactGcResult result =
       artifact_store_gc(dir.str(), 0, /*max_age_s=*/3600.0);
   // Everything is ancient; the sweep keeps only the most recently used.
@@ -584,6 +584,159 @@ TEST(ArtifactStoreDisk, RoundTripAndHeaderVerification) {
   EXPECT_EQ(reject.stats().disk_failures, 1u);
   EXPECT_EQ(reject.stats().builds, 1u);
   EXPECT_EQ(rebuilt->id, 8u);
+}
+
+TEST(ArtifactStoreDisk, CorruptBinaryPayloadIsRejectedAndHealed) {
+  const TempDir dir("bitrot");
+  const BlobKey key{9, 1};
+  {
+    BlobStore seed;
+    (void)seed.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                   blob_builder(key, 200));
+  }
+  // Flip one mid-file bit; a container checksum must catch it — silent
+  // bit rot must rebuild, never hand back a mangled value.
+  const std::filesystem::path artifact =
+      dir.path / BlobStore::artifact_name(key);
+  std::string blob;
+  {
+    std::ifstream in(artifact, std::ios::binary);
+    std::stringstream bytes;
+    bytes << in.rdbuf();
+    blob = bytes.str();
+  }
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x40);
+  {
+    std::ofstream out(artifact, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  BlobStore store;
+  std::atomic<int> builds{0};
+  const auto rebuilt = store.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                                 blob_builder(key, 200, &builds));
+  EXPECT_EQ(store.stats().disk_failures, 1u);
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(rebuilt->payload.size(), 200u);
+  // The rebuild healed the file: a fresh store loads it cleanly.
+  BlobStore healed;
+  (void)healed.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                   blob_builder(key, 200, &builds));
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(healed.stats().disk_loads, 1u);
+  EXPECT_EQ(healed.stats().disk_failures, 0u);
+}
+
+TEST(ArtifactStoreDisk, LegacyTextArtifactIsRebuiltAsBinaryThenReclaimed) {
+  const TempDir dir("legacy_text");
+  std::filesystem::create_directories(dir.path);
+  const BlobKey key{4, 2};
+  // A pre-v2 text artifact under the old naming scheme: the binary store
+  // never addresses .txt files, so the key is simply cold and rebuilds
+  // into the v2 container alongside it...
+  const std::string legacy = "blob-v1-" + key.hex() + ".txt";
+  {
+    std::ofstream out(dir.path / legacy);
+    out << "seo-artifact blob 1 " << key.hex() << " 5\n4\nhello";
+  }
+  BlobStore store;
+  std::atomic<int> builds{0};
+  (void)store.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                  blob_builder(key, 120, &builds));
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(store.stats().disk_loads, 0u);
+  EXPECT_EQ(store.stats().disk_failures, 0u);
+  auto names = dir_artifacts(dir.path);
+  EXPECT_EQ(names.size(), 2u);  // old text + new binary coexist
+  // ...and, being unmanaged, the text file is the first thing a
+  // size-capped sweep reclaims.
+  const auto bin_size = std::filesystem::file_size(
+      dir.path / BlobStore::artifact_name(key));
+  (void)artifact_store_gc(dir.str(), bin_size, 0.0);
+  names = dir_artifacts(dir.path);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], BlobStore::artifact_name(key));
+}
+
+// --- Cross-process single-flight --------------------------------------------
+
+TEST(ArtifactStoreLock, StaleLockFileIsStolenAndReclaimed) {
+  const TempDir dir("stale_lock");
+  std::filesystem::create_directories(dir.path);
+  const BlobKey key{6, 3};
+  // A lock sidecar left by a crashed holder: flock dies with its process,
+  // so acquiring (stealing) the stale lock must succeed without blocking.
+  const std::filesystem::path lock =
+      dir.path / (BlobStore::artifact_name(key) + ".lock");
+  { std::ofstream out(lock); }
+  BlobStore store;
+  std::atomic<int> builds{0};
+  const auto blob = store.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
+                              blob_builder(key, 64, &builds));
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(blob->payload.size(), 64u);
+  EXPECT_EQ(store.stats().lock_waits, 0u);  // stolen, never blocked on
+  // The GC sweep reclaims idle sidecars (nobody holds them) without
+  // touching the artifact they guard.
+  EXPECT_TRUE(std::filesystem::exists(lock));
+  (void)artifact_store_gc(dir.str(), 0, 0.0);
+  EXPECT_FALSE(std::filesystem::exists(lock));
+  EXPECT_TRUE(
+      std::filesystem::exists(dir.path / BlobStore::artifact_name(key)));
+}
+
+TEST(ArtifactStoreLock, TwoColdProcessesBuildEachDigestExactlyOnce) {
+  const TempDir dir("multiproc");
+  std::filesystem::create_directories(dir.path);
+  constexpr int kProcs = 2;
+  constexpr std::uint64_t kDigests = 3;
+
+  std::vector<pid_t> children;
+  for (int p = 0; p < kProcs; ++p) {
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      // Child: a fresh process image — its store and manifest cache are
+      // cold; only the shared directory couples it to its sibling.
+      int failures = 0;
+      {
+        BlobStore store;
+        for (std::uint64_t id = 1; id <= kDigests; ++id) {
+          const BlobKey key{id, 9};
+          const auto blob = store.get(
+              key, ArtifactDiskOptions{dir.str(), 0, 0.0}, [&] {
+                // Every build leaves a per-process marker and dawdles long
+                // enough that an unlocked sibling would double-build.
+                std::ofstream marker(
+                    dir.path / ("built-" + std::to_string(id) + "-by-" +
+                                std::to_string(::getpid()) + ".marker"));
+                std::this_thread::sleep_for(std::chrono::milliseconds(100));
+                return blob_builder(key, 64)();
+              });
+          if (blob == nullptr || blob->payload.size() != 64u) ++failures;
+        }
+      }
+      ::_exit(failures);
+    }
+    children.push_back(pid);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+  }
+  // Exactly one build marker per digest across both processes: the
+  // advisory lock made the loser re-load what the winner stored instead
+  // of rebuilding it.
+  for (std::uint64_t id = 1; id <= kDigests; ++id) {
+    const std::string prefix = "built-" + std::to_string(id) + "-by-";
+    int markers = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir.path))
+      if (entry.path().filename().string().rfind(prefix, 0) == 0) ++markers;
+    EXPECT_EQ(markers, 1) << "digest id " << id;
+    EXPECT_TRUE(std::filesystem::exists(
+        dir.path / BlobStore::artifact_name(BlobKey{id, 9})));
+  }
 }
 
 // --- CEM policy-weights kind ------------------------------------------------
@@ -687,21 +840,20 @@ TEST(CemWeightsStore, PoisonedArtifactIsRejectedAndRebuilt) {
     (void)seed_store.get(key, ArtifactDiskOptions{dir.str(), 0, 0.0},
                          [&] { return train_toy(key); });
   }
-  // Poison one weight to NaN, keeping the header intact.
-  const std::filesystem::path artifact =
-      dir.path / nn::CemWeightsStore::artifact_name(key);
-  std::string content;
-  {
-    std::ifstream in(artifact);
-    std::stringstream text;
-    text << in.rdbuf();
-    content = text.str();
-  }
-  content.replace(content.rfind(' ') + 1, std::string::npos, "nan\n");
-  {
-    std::ofstream out(artifact);
-    out << content;
-  }
+  // Poison one weight to NaN and re-wrap the payload in a *valid* v2
+  // container (checksums over the poisoned bytes): only the decode-time
+  // finiteness validation stands between this file and a NaN policy.
+  auto poisoned = train_toy(key);
+  nn::Vector params = poisoned->flatten_parameters();
+  params[params.size() / 2] = std::numeric_limits<double>::quiet_NaN();
+  poisoned->set_parameters(params);
+  std::string payload;
+  BinaryWriter writer(payload);
+  poisoned->encode(writer);
+  artifact_detail::write_artifact(ArtifactDiskOptions{dir.str(), 0, 0.0},
+                                  nn::CemWeightsTraits::kind(),
+                                  nn::CemWeightsTraits::version(), key.digest(),
+                                  payload);
   nn::CemWeightsStore store;
   const auto rebuilt = store.get(
       key, ArtifactDiskOptions{dir.str(), 0, 0.0}, [&] { return train_toy(key); });

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/binary_io.hpp"
 #include "safety/table_cache.hpp"
 #include "sim/scenario_library.hpp"
 #include "sim/simulation.hpp"
@@ -285,31 +286,43 @@ TEST(DeadlineTableCache, RenamedArtifactForAnotherKeyIsRejected) {
 TEST(DeadlineTableCache, ArtifactWithNonFiniteCellsIsRejected) {
   const TempDir dir("nonfinite");
   const DeadlineTableKey key = small_key();
-  const std::filesystem::path artifact =
-      dir.path / DeadlineTableCache::artifact_name(key);
 
-  // Well-formed header, poisoned payload: without the load() hardening
-  // this would silently feed NaN deadlines to every episode.
-  std::filesystem::create_directories(dir.path);
-  {
-    DeadlineTableCache seed;
-    (void)seed.get(key, dir.str(), builder_for(key));
-  }
-  std::ifstream in(artifact);
-  std::stringstream text;
-  text << in.rdbuf();
-  std::string content = text.str();
-  content.replace(content.rfind(' ') + 1, std::string::npos, "nan\n");
-  {
-    std::ofstream out(artifact);
-    out << content;
-  }
+  // Well-formed container (checksums computed over the poisoned bytes),
+  // NaN in the last cell: only the decode-time finiteness hardening — not
+  // the checksum — stands between this file and NaN deadlines in every
+  // episode.
+  const auto table = builder_for(key)();
+  std::string payload;
+  BinaryWriter writer(payload);
+  table->encode(writer);
+  const std::uint64_t nan_bits = 0x7ff8000000000000ull;
+  for (int i = 0; i < 8; ++i)
+    payload[payload.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<char>((nan_bits >> (8 * i)) & 0xff);
+  artifact_detail::write_artifact(ArtifactDiskOptions{dir.str(), 0, 0.0},
+                                  LipschitzTableTraits::kind(),
+                                  LipschitzTableTraits::version(), key.digest(),
+                                  payload);
 
   DeadlineTableCache cache;
-  const auto table = cache.get(key, dir.str(), builder_for(key));
-  ASSERT_NE(table, nullptr);
+  const auto rebuilt = cache.get(key, dir.str(), builder_for(key));
+  ASSERT_NE(rebuilt, nullptr);
   EXPECT_EQ(cache.stats().disk_failures, 1u);
   EXPECT_EQ(cache.stats().builds, 1u);
+}
+
+TEST(DeadlineTableCache, BinaryPayloadIsAtLeastTwiceSmallerThanText) {
+  // The v2 motivation, locked as a floor: the binary table payload (8
+  // bytes per cell + fixed header) must stay at least 2x smaller than the
+  // v1 text serialization it replaced.
+  const DeadlineTableKey key = small_key();
+  const auto table = builder_for(key)();
+  const std::string text = serialized(*table);
+  std::string binary;
+  BinaryWriter writer(binary);
+  table->encode(writer);
+  EXPECT_GE(text.size(), 2 * binary.size())
+      << "text " << text.size() << " bytes vs binary " << binary.size();
 }
 
 // --- Nested-parallelism guard ----------------------------------------------

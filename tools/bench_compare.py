@@ -42,6 +42,8 @@ import sys
 # The stable per-tick hot paths (threads-suffixed scaling entries are
 # machine-shaped, so the gate pins the serial ones).
 DEFAULT_NAMES = [
+    "BM_ArtifactPayloadParseBinary",
+    "BM_ArtifactPayloadParseText",
     "BM_BarrierValue",
     "BM_BicycleStepRk4",
     "BM_CemWeightsCache",

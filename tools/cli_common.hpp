@@ -56,16 +56,27 @@ inline std::vector<std::string> split(const std::string& text, char sep) {
 /// Usage lines for the shared artifact-store flags, spliced into each
 /// CLI's --help text.
 constexpr const char* kCacheUsage =
-    "  --table-cache on|off   content-addressed artifact reuse (default "
-    "on;\n"
-    "                         results are byte-identical either way)\n"
-    "  --table-cache-dir DIR  persist built artifacts (all kinds) in DIR\n"
-    "  --cache-budget-mb N    artifact-dir size cap [MB]; LRU GC sweeps "
-    "after stores\n"
-    "  --cache-max-age-h N    artifact last-use age cap [hours]\n"
-    "  --cache-mem-mb N       per-kind in-memory byte budget [MB]\n"
-    "  --cache-gc             LRU GC sweep over the artifact dir before "
-    "the run\n";
+    "  --cache SPEC           artifact-store settings, comma-separated:\n"
+    "                           on|off        content-addressed reuse "
+    "(default on;\n"
+    "                                         results byte-identical "
+    "either way)\n"
+    "                           dir=DIR       persist artifacts (all "
+    "kinds) in DIR\n"
+    "                           mem-mb=N      per-kind in-memory byte "
+    "budget [MB]\n"
+    "                           budget-mb=N   artifact-dir size cap [MB]; "
+    "LRU GC\n"
+    "                                         sweeps after stores\n"
+    "                           max-age-h=N   artifact last-use age cap "
+    "[hours]\n"
+    "                           gc            LRU GC sweep over the dir "
+    "before the run\n"
+    "                         e.g. --cache dir=artifacts,budget-mb=512,gc\n"
+    "  --table-cache on|off, --table-cache-dir DIR, --cache-budget-mb N,\n"
+    "  --cache-max-age-h N, --cache-mem-mb N, --cache-gc\n"
+    "                         deprecated aliases for the --cache settings "
+    "above\n";
 
 /// Artifact-store options accumulated while parsing.
 struct CacheCliOptions {
@@ -75,9 +86,65 @@ struct CacheCliOptions {
   bool gc = false;
 };
 
-/// Consumes one shared artifact-store flag (and its value) from argv.
-/// Returns false when `argv[i]` is not a cache flag; exits with code 2 on
-/// a malformed value.  Recognized flags land in `overrides` (scenario_io
+/// Applies one `--cache` setting (`name`/`value` as in "dir=DIR", or a
+/// bare token like "gc" with an empty value).  Both the new `--cache SPEC`
+/// syntax and the deprecated per-setting flags funnel through here — one
+/// code path, so the two surfaces can never drift.  Returns false for an
+/// unknown setting name; exits with code 2 on a malformed value.
+inline bool apply_cache_setting(
+    const std::string& flag, const std::string& name, const std::string& value,
+    std::vector<std::pair<std::string, std::string>>& overrides,
+    CacheCliOptions& state) {
+  const auto bare = [&] {
+    if (!value.empty()) {
+      std::cerr << flag << ": '" << name << "' does not take a value\n";
+      std::exit(2);
+    }
+  };
+  const auto numeric = [&] {
+    return parse_numeric_flag(flag + " " + name, value);
+  };
+  if (name == "on" || name == "off") {
+    bare();
+    overrides.emplace_back("table_cache", name == "on" ? "true" : "false");
+    return true;
+  }
+  if (name == "gc") {
+    bare();
+    state.gc = true;
+    return true;
+  }
+  if (name == "dir") {
+    if (value.empty()) {
+      std::cerr << flag << ": 'dir' expects a directory\n";
+      std::exit(2);
+    }
+    state.dir = value;
+    overrides.emplace_back("table_cache_dir", value);
+    return true;
+  }
+  if (name == "budget-mb") {
+    state.budget_mb = numeric();
+    overrides.emplace_back("cache_budget_mb", value);
+    return true;
+  }
+  if (name == "max-age-h") {
+    state.max_age_h = numeric();
+    overrides.emplace_back("cache_max_age_h", value);
+    return true;
+  }
+  if (name == "mem-mb") {
+    (void)numeric();
+    overrides.emplace_back("cache_mem_mb", value);
+    return true;
+  }
+  return false;
+}
+
+/// Consumes one shared artifact-store flag (and its value) from argv —
+/// `--cache SPEC` or one of the deprecated per-setting aliases.  Returns
+/// false when `argv[i]` is not a cache flag; exits with code 2 on a
+/// malformed value.  Recognized settings land in `overrides` (scenario_io
 /// keys, so they reach run_episode through the normal config path) and in
 /// `state` (for the startup GC).
 inline bool parse_cache_flag(
@@ -92,47 +159,44 @@ inline bool parse_cache_flag(
     }
     return argv[++i];
   };
-  const auto next_double = [&]() -> std::pair<std::string, double> {
-    const std::string text = next_value();
-    return {text, parse_numeric_flag(arg, text)};
-  };
 
+  if (arg == "--cache") {
+    for (const std::string& item : split(next_value(), ',')) {
+      if (item.empty()) continue;
+      const auto eq = item.find('=');
+      const std::string name =
+          eq == std::string::npos ? item : item.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? "" : item.substr(eq + 1);
+      if (!apply_cache_setting(arg, name, value, overrides, state)) {
+        std::cerr << "--cache: unknown setting '" << name
+                  << "' (expected on, off, dir=, mem-mb=, budget-mb=, "
+                     "max-age-h=, gc)\n";
+        std::exit(2);
+      }
+    }
+    return true;
+  }
   if (arg == "--table-cache") {
     const std::string value = next_value();
     if (value != "on" && value != "off") {
       std::cerr << "--table-cache expects on|off\n";
       std::exit(2);
     }
-    overrides.emplace_back("table_cache", value == "on" ? "true" : "false");
-    return true;
+    return apply_cache_setting(arg, value, "", overrides, state);
   }
-  if (arg == "--table-cache-dir") {
-    state.dir = next_value();
-    overrides.emplace_back("table_cache_dir", state.dir);
-    return true;
-  }
-  if (arg == "--cache-budget-mb") {
-    const auto [text, v] = next_double();
-    state.budget_mb = v;
-    overrides.emplace_back("cache_budget_mb", text);
-    return true;
-  }
-  if (arg == "--cache-max-age-h") {
-    const auto [text, v] = next_double();
-    state.max_age_h = v;
-    overrides.emplace_back("cache_max_age_h", text);
-    return true;
-  }
-  if (arg == "--cache-mem-mb") {
-    const auto [text, v] = next_double();
-    (void)v;
-    overrides.emplace_back("cache_mem_mb", text);
-    return true;
-  }
-  if (arg == "--cache-gc") {
-    state.gc = true;
-    return true;
-  }
+  if (arg == "--table-cache-dir")
+    return apply_cache_setting(arg, "dir", next_value(), overrides, state);
+  if (arg == "--cache-budget-mb")
+    return apply_cache_setting(arg, "budget-mb", next_value(), overrides,
+                               state);
+  if (arg == "--cache-max-age-h")
+    return apply_cache_setting(arg, "max-age-h", next_value(), overrides,
+                               state);
+  if (arg == "--cache-mem-mb")
+    return apply_cache_setting(arg, "mem-mb", next_value(), overrides, state);
+  if (arg == "--cache-gc")
+    return apply_cache_setting(arg, "gc", "", overrides, state);
   return false;
 }
 
@@ -168,9 +232,10 @@ inline void print_artifact_store_stats(std::ostream& out) {
     const ArtifactStoreStats& s = row.stats;
     out << "artifact store [" << row.kind << "]: " << s.hits << " hits, "
         << s.misses << " misses, " << s.builds << " builds, " << s.waits
-        << " waits, " << s.evictions << " evictions, " << s.bytes
-        << " bytes, " << s.disk_loads << " disk loads, " << s.disk_stores
-        << " disk stores, " << s.disk_failures << " disk failures\n";
+        << " waits, " << s.lock_waits << " lock waits, " << s.evictions
+        << " evictions, " << s.bytes << " bytes, " << s.disk_loads
+        << " disk loads, " << s.disk_stores << " disk stores, "
+        << s.disk_failures << " disk failures\n";
   }
 }
 
