@@ -4,17 +4,24 @@
 // fallback keep the pipeline safe while the radio budget shifts.
 //
 //   ./examples/offload_scenario [scale_mbps...]
-#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "energy/report.hpp"
 #include "sim/experiment.hpp"
+#include "util/numeric.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   std::vector<double> scales;
-  for (int i = 1; i < argc; ++i) scales.push_back(std::atof(argv[i]));
+  for (int i = 1; i < argc; ++i) {
+    double scale = 0.0;
+    if (!seo::parse_finite_double(argv[i], scale)) {
+      std::cerr << "not a finite channel scale: '" << argv[i] << "'\n";
+      return 2;
+    }
+    scales.push_back(scale);
+  }
   if (scales.empty()) scales = {2.0, 10.0, 20.0, 60.0};
 
   std::cout << "SEO offloading scenario: 100 m course, 3 obstacles, "

@@ -1,5 +1,7 @@
 #include "core/artifact_store.hpp"
 
+#include "core/wallclock.hpp"
+
 #include <fcntl.h>
 #include <sys/file.h>
 #include <sys/stat.h>
@@ -42,6 +44,12 @@ std::vector<ArtifactKindStats> ArtifactStoreRegistry::snapshot() const {
   out.reserve(handles.size());
   for (const auto& handle : handles)
     out.push_back(ArtifactKindStats{handle.kind, handle.stats()});
+  // Registration order depends on which thread first touched each global
+  // accessor; sort by kind so stats lines print identically every run.
+  std::sort(out.begin(), out.end(),
+            [](const ArtifactKindStats& a, const ArtifactKindStats& b) {
+              return a.kind < b.kind;
+            });
   return out;
 }
 
@@ -106,11 +114,10 @@ struct ManifestEntry {
 
 using Manifest = std::map<std::string, ManifestEntry>;
 
-std::int64_t now_unix() {
-  return std::chrono::duration_cast<std::chrono::seconds>(
-             std::chrono::system_clock::now().time_since_epoch())
-      .count();
-}
+// Manifest last-use stamps need a cross-process, cross-host epoch, which
+// only wall time provides; core/wallclock documents why this is the one
+// sanctioned wall-clock read and the GC-only contract that keeps it safe.
+std::int64_t now_unix() { return wall_clock_unix_seconds(); }
 
 /// RAII blocking flock on the directory's manifest.lock — serializes
 /// manifest flushes and GC sweeps across processes.  Degrades to unlocked

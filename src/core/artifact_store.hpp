@@ -158,7 +158,8 @@ class ArtifactStoreRegistry {
   static ArtifactStoreRegistry& global();
 
   void add(Handle handle);
-  /// Stats for every registered kind, in registration order.
+  /// Stats for every registered kind, sorted by kind name — registration
+  /// order varies with which thread touches an accessor first.
   std::vector<ArtifactKindStats> snapshot() const;
   void set_memory_budget_all(const ArtifactMemoryBudget& budget) const;
   void clear_all() const;
@@ -449,6 +450,9 @@ class ArtifactStore {
     }
     auto snap = std::make_shared<Snapshot>();
     snap->reserve(entries_.size());
+    // seo-lint: allow(unordered-iter) -- copies one unordered map into
+    // another keyed on the same digests; iteration order never reaches
+    // bytes, and lookups on the snapshot are by digest, not traversal.
     for (const auto& [digest, entry] : entries_)
       if (!entry.in_flight)
         snap->emplace(digest, std::make_pair(entry.key, entry.value));

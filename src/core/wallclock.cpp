@@ -1,0 +1,16 @@
+#include "core/wallclock.hpp"
+
+#include <chrono>
+
+namespace seo {
+
+std::int64_t wall_clock_unix_seconds() {
+  // seo-lint: allow(wall-clock) -- the artifact-store age cap compares
+  // last-use stamps across processes and hosts sharing one artifact dir;
+  // only unix wall time has a shared epoch.  The result feeds GC decisions
+  // exclusively, never artifact/report bytes (see wallclock.hpp).
+  const auto since_epoch = std::chrono::system_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::seconds>(since_epoch).count();
+}
+
+}  // namespace seo

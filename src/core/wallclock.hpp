@@ -1,0 +1,30 @@
+// The ONE sanctioned wall-clock read in the library.
+//
+// The determinism contract bans wall-clock time as a simulation input:
+// results must be byte-identical across hosts, reruns, and thread counts,
+// and a timestamp is an irreproducible input.  seo-lint enforces the ban
+// tree-wide (rule `wall-clock`).  The single legitimate exception is the
+// artifact store's cross-process age cap: `--cache max-age-h=N` evicts
+// artifacts not used for N hours, and "hours ago" must mean the same
+// thing to every process on every host that shares the artifact
+// directory.  A steady/monotonic clock cannot express that — its epoch is
+// per-boot and per-process — so the age cap keys off unix wall time.
+//
+// The contract that keeps this safe: wall-clock time may influence WHICH
+// artifacts survive GC, never the BYTES of any artifact, report, trace or
+// sweep.  Callers must route manifest `last_used` stamps (and nothing
+// else) through this helper; durations and orderings inside a process use
+// std::chrono::steady_clock.
+#pragma once
+
+#include <cstdint>
+
+namespace seo {
+
+/// Current unix time in whole seconds, for artifact-manifest `last_used`
+/// stamps only (see the file comment for the contract).  Coarse on
+/// purpose: the age cap is specified in hours, and whole seconds keep the
+/// manifest bytes small and platform-independent.
+std::int64_t wall_clock_unix_seconds();
+
+}  // namespace seo

@@ -1,0 +1,358 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace seo::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Cursor over the source with line tracking.
+struct Cursor {
+  std::string_view src;
+  std::size_t pos = 0;
+  int line = 1;
+
+  bool done() const { return pos >= src.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+};
+
+/// Parses one `seo-lint: allow(rule, ...) -- justification` directive out
+/// of comment text.  Returns true when the comment contains a directive at
+/// all (well-formed or not); ill-formed details land in `error`.
+bool parse_directive(std::string_view comment, Suppression& out,
+                     std::string& error) {
+  // Anchored at the start of the comment (modulo whitespace): prose that
+  // merely *mentions* a directive — docs, nested `//` examples — must not
+  // become one.
+  std::string_view head = comment;
+  while (!head.empty() && (head.front() == ' ' || head.front() == '\t'))
+    head.remove_prefix(1);
+  if (head.rfind("seo-lint:", 0) != 0) return false;
+  std::string_view rest = head.substr(9);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.rfind("allow", 0) != 0) {
+    error = "expected 'allow(rule, ...)' after 'seo-lint:'";
+    return true;
+  }
+  rest.remove_prefix(5);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.empty() || rest.front() != '(') {
+    error = "expected '(' after 'seo-lint: allow'";
+    return true;
+  }
+  rest.remove_prefix(1);
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    error = "unterminated rule list in 'seo-lint: allow(...)'";
+    return true;
+  }
+  // Split the rule list on commas.
+  std::string_view list = rest.substr(0, close);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    std::string_view name =
+        comma == std::string_view::npos ? list : list.substr(0, comma);
+    while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+    while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+    if (!name.empty()) out.rules.insert(std::string(name));
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  if (out.rules.empty()) {
+    error = "empty rule list in 'seo-lint: allow(...)'";
+    return true;
+  }
+  rest.remove_prefix(close + 1);
+  // The justification is mandatory: `-- why this site is exempt`.
+  const std::size_t dashes = rest.find("--");
+  if (dashes == std::string_view::npos) {
+    error = "suppression is missing its '-- justification'";
+    return true;
+  }
+  std::string_view why = rest.substr(dashes + 2);
+  while (!why.empty() && (why.front() == ' ' || why.front() == '\t'))
+    why.remove_prefix(1);
+  while (!why.empty() &&
+         (why.back() == ' ' || why.back() == '\t' || why.back() == '\n' ||
+          why.back() == '\r'))
+    why.remove_suffix(1);
+  if (why.empty()) {
+    error = "suppression justification after '--' is empty";
+    return true;
+  }
+  out.justification = std::string(why);
+  return true;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : c_{src} {}
+
+  LexResult run() {
+    while (!c_.done()) {
+      const char ch = c_.peek();
+      if (ch == '\n') {
+        at_line_start_ = true;
+        line_had_token_ = false;
+        c_.advance();
+        continue;
+      }
+      if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' || ch == '\f') {
+        c_.advance();
+        continue;
+      }
+      if (ch == '#' && at_line_start_) {
+        skip_preprocessor_line();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ch == '/' && c_.peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (ch == '/' && c_.peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (ch == '"' || is_string_prefix()) {
+        string_literal();
+        continue;
+      }
+      if (ch == '\'') {
+        char_literal();
+        continue;
+      }
+      if (is_digit(ch) || (ch == '.' && is_digit(c_.peek(1)))) {
+        number();
+        continue;
+      }
+      if (is_ident_start(ch)) {
+        identifier();
+        continue;
+      }
+      punct();
+    }
+    // Directives with no code after them (end of file) guard nothing;
+    // keep them resolved to the line after the comment so tests can still
+    // observe them.
+    for (Suppression& s : pending_) {
+      s.line += 1;
+      result_.suppressions.push_back(std::move(s));
+    }
+    pending_.clear();
+    return std::move(result_);
+  }
+
+ private:
+  void emit(TokenKind kind, std::string text, int line) {
+    // An own-line directive guards the next line of CODE — resolve any
+    // pending suppressions to this token's line, so a directive may sit
+    // above further comment lines (justifications often wrap).
+    for (Suppression& s : pending_) {
+      s.line = line;
+      result_.suppressions.push_back(std::move(s));
+    }
+    pending_.clear();
+    result_.tokens.push_back(Token{kind, std::move(text), line});
+    line_had_token_ = true;
+  }
+
+  void skip_preprocessor_line() {
+    // Consume to end of line, honoring backslash continuations.
+    while (!c_.done()) {
+      const char ch = c_.advance();
+      if (ch == '\\' && c_.peek() == '\n') {
+        c_.advance();
+        continue;
+      }
+      if (ch == '\n') break;
+    }
+    at_line_start_ = true;
+    line_had_token_ = false;
+  }
+
+  void handle_comment_text(const std::string& text, int line,
+                           bool own_line) {
+    Suppression s;
+    std::string error;
+    if (!parse_directive(text, s, error)) return;
+    if (!error.empty()) {
+      result_.directive_errors.push_back(DirectiveError{line, error});
+      return;
+    }
+    // A trailing comment guards its own line; a comment on its own line
+    // guards the next line of code (resolved when that token is emitted —
+    // intervening comment lines do not break the association).
+    if (own_line) {
+      s.line = line;  // placeholder; emit() overwrites with the code line
+      pending_.push_back(std::move(s));
+    } else {
+      s.line = line;
+      result_.suppressions.push_back(std::move(s));
+    }
+  }
+
+  void line_comment() {
+    const int line = c_.line;
+    const bool own_line = !line_had_token_;
+    c_.advance();  // '/'
+    c_.advance();  // '/'
+    // Doxygen-style comments ("///", "//!") still carry directives.
+    while (!c_.done() && (c_.peek() == '/' || c_.peek() == '!')) c_.advance();
+    std::string text;
+    while (!c_.done() && c_.peek() != '\n') text += c_.advance();
+    handle_comment_text(text, line, own_line);
+  }
+
+  void block_comment() {
+    const int line = c_.line;
+    const bool own_line = !line_had_token_;
+    c_.advance();  // '/'
+    c_.advance();  // '*'
+    std::string text;
+    while (!c_.done()) {
+      if (c_.peek() == '*' && c_.peek(1) == '/') {
+        c_.advance();
+        c_.advance();
+        break;
+      }
+      text += c_.advance();
+    }
+    handle_comment_text(text, line, own_line);
+  }
+
+  /// True when an encoding prefix (u8, u, U, L, optionally followed by R)
+  /// or a bare R introduces a string literal at the cursor.
+  bool is_string_prefix() const {
+    std::size_t i = 0;
+    if (c_.peek() == 'u' && c_.peek(1) == '8')
+      i = 2;
+    else if (c_.peek() == 'u' || c_.peek() == 'U' || c_.peek() == 'L')
+      i = 1;
+    if (c_.peek(i) == 'R' && c_.peek(i + 1) == '"') return true;
+    return i > 0 && c_.peek(i) == '"';
+  }
+
+  void string_literal() {
+    const int line = c_.line;
+    bool raw = false;
+    while (c_.peek() != '"') {
+      if (c_.peek() == 'R') raw = true;
+      c_.advance();  // encoding prefix / R
+    }
+    c_.advance();  // opening quote
+    std::string text;
+    if (raw) {
+      std::string delim;
+      while (!c_.done() && c_.peek() != '(') delim += c_.advance();
+      if (!c_.done()) c_.advance();  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (!c_.done()) {
+        if (c_.src.compare(c_.pos, closer.size(), closer) == 0) {
+          for (std::size_t k = 0; k < closer.size(); ++k) c_.advance();
+          break;
+        }
+        text += c_.advance();
+      }
+    } else {
+      while (!c_.done() && c_.peek() != '"' && c_.peek() != '\n') {
+        if (c_.peek() == '\\') {
+          text += c_.advance();
+          if (!c_.done()) text += c_.advance();
+          continue;
+        }
+        text += c_.advance();
+      }
+      if (!c_.done() && c_.peek() == '"') c_.advance();
+    }
+    emit(TokenKind::kString, std::move(text), line);
+  }
+
+  void char_literal() {
+    const int line = c_.line;
+    c_.advance();  // opening quote
+    std::string text;
+    while (!c_.done() && c_.peek() != '\'' && c_.peek() != '\n') {
+      if (c_.peek() == '\\') {
+        text += c_.advance();
+        if (!c_.done()) text += c_.advance();
+        continue;
+      }
+      text += c_.advance();
+    }
+    if (!c_.done() && c_.peek() == '\'') c_.advance();
+    emit(TokenKind::kChar, std::move(text), line);
+  }
+
+  void number() {
+    const int line = c_.line;
+    std::string text;
+    text += c_.advance();
+    // pp-number: letters, digits, '.', digit separators, exponent signs.
+    while (!c_.done()) {
+      const char ch = c_.peek();
+      if (is_ident_char(ch) || ch == '.' || ch == '\'') {
+        text += c_.advance();
+        continue;
+      }
+      if ((ch == '+' || ch == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text += c_.advance();
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, std::move(text), line);
+  }
+
+  void identifier() {
+    const int line = c_.line;
+    std::string text;
+    while (!c_.done() && is_ident_char(c_.peek())) text += c_.advance();
+    emit(TokenKind::kIdentifier, std::move(text), line);
+  }
+
+  void punct() {
+    const int line = c_.line;
+    const char a = c_.advance();
+    const char b = c_.peek();
+    if ((a == ':' && b == ':') || (a == '-' && b == '>') ||
+        (a == '<' && b == '<') || (a == '>' && b == '>')) {
+      c_.advance();
+      emit(TokenKind::kPunct, std::string{a, b}, line);
+      return;
+    }
+    emit(TokenKind::kPunct, std::string(1, a), line);
+  }
+
+  Cursor c_;
+  LexResult result_;
+  std::vector<Suppression> pending_;  ///< own-line directives awaiting code
+  bool at_line_start_ = true;
+  bool line_had_token_ = false;
+};
+
+}  // namespace
+
+LexResult lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace seo::lint

@@ -1,0 +1,68 @@
+// Lexer for seo-lint (tools/seo-lint) — tokenizes C++ source far enough
+// for the determinism rule table (src/lint/rules.hpp) to pattern-match:
+// identifiers, pp-numbers, string/char literals (content retained — the
+// float-format rule inspects printf conversions inside literals),
+// punctuation (with `::`, `->`, `<<`, `>>` fused), comments stripped.
+//
+// Comments are not entirely discarded: one starting with `seo-lint:
+// allow(rule, ...) -- justification` becomes a suppression for the line
+// it sits on (or, when the comment has a line of its own, the next line
+// of code — intervening comment lines do not break the association).
+// The directive must open the comment — prose that merely mentions the
+// syntax is ignored.
+// The justification after `--` is mandatory; a directive without one is
+// itself a finding (`bad-suppression`) so silence always carries a reason.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seo::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (no keyword table needed)
+  kNumber,      ///< pp-number: 1, 0x1f, 1.5, 2e-3, 0x1p4, digit separators
+  kString,      ///< text is the literal CONTENT (quotes/prefix stripped)
+  kChar,        ///< character literal content
+  kPunct,       ///< one punctuation char, or one of "::" "->" "<<" ">>"
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// One `seo-lint: allow(...)` directive, resolved to the line it guards.
+struct Suppression {
+  int line = 0;                    ///< the line the suppression applies to
+  std::set<std::string> rules;     ///< rule names listed in allow(...)
+  std::string justification;       ///< text after `--` (never empty)
+};
+
+/// A malformed directive (missing justification, unparsable rule list).
+/// Reported by the driver as a `bad-suppression` finding — malformed
+/// suppressions must fail the gate, not silently suppress nothing.
+struct DirectiveError {
+  int line = 0;
+  std::string message;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  std::vector<DirectiveError> directive_errors;
+};
+
+/// Tokenizes `source`.  Never throws on malformed input: an unterminated
+/// literal or comment simply ends at EOF (the linter must degrade to
+/// "fewer tokens", never crash the gate on a file it cannot parse).
+/// Preprocessor directive lines are skipped entirely (an `#include
+/// <unordered_map>` is not an unordered-container declaration).
+LexResult lex(std::string_view source);
+
+}  // namespace seo::lint

@@ -11,6 +11,7 @@
 #include "core/binary_io.hpp"
 #include "core/fingerprint.hpp"
 #include "util/expect.hpp"
+#include "util/numeric.hpp"
 
 namespace seo {
 
@@ -30,14 +31,32 @@ const char* trace_csv_header() {
 }
 
 void append_trace_sample_csv(std::string& out, const TraceSample& s) {
-  char line[512];
-  std::snprintf(line, sizeof line,
-                "%.4f,%.4f,%.4f,%.5f,%.4f,%.4f,%d,%d,%d,%d,%.5f,%.4f,%.4f\n",
-                s.t, s.position.x, s.position.y, s.heading, s.speed,
-                s.barrier_h, s.delta_max, s.unconstrained ? 1 : 0,
-                s.interval_started ? 1 : 0, s.filter_engaged ? 1 : 0,
-                s.steering, s.throttle, s.detection_age_s);
-  out += line;
+  // format_double_fixed, not snprintf: byte-identical to the old
+  // "%.4f"/"%.5f" output under the C locale, but immune to LC_NUMERIC —
+  // a comma-decimal locale would otherwise corrupt the CSV separator.
+  const auto num = [&out](double v, int precision) {
+    out += format_double_fixed(v, precision);
+    out += ',';
+  };
+  const auto flag = [&out](bool b) {
+    out += b ? '1' : '0';
+    out += ',';
+  };
+  num(s.t, 4);
+  num(s.position.x, 4);
+  num(s.position.y, 4);
+  num(s.heading, 5);
+  num(s.speed, 4);
+  num(s.barrier_h, 4);
+  out += std::to_string(s.delta_max);
+  out += ',';
+  flag(s.unconstrained);
+  flag(s.interval_started);
+  flag(s.filter_engaged);
+  num(s.steering, 5);
+  num(s.throttle, 4);
+  out += format_double_fixed(s.detection_age_s, 4);
+  out += '\n';
 }
 
 std::string EpisodeTrace::to_csv() const {

@@ -15,6 +15,17 @@ std::string format_double(double v) {
   return std::string(buf, result.ptr);
 }
 
+std::string format_double_fixed(double v, int precision) {
+  if (precision < 0) precision = 0;
+  if (precision > 64) precision = 64;
+  // Worst case: -DBL_MAX in fixed notation is ~310 digits + 64 fractional.
+  char buf[400];
+  const auto result = std::to_chars(buf, buf + sizeof buf, v,
+                                    std::chars_format::fixed, precision);
+  if (result.ec != std::errc()) return "nan";  // cannot happen with buf[400]
+  return std::string(buf, result.ptr);
+}
+
 bool parse_double(std::string_view text, double& out) {
   if (text.empty()) return false;
   // from_chars does not accept a leading '+' (to_chars never emits one);

@@ -28,6 +28,13 @@ std::string format_double(double v);
 /// the text does not parse.
 bool parse_double(std::string_view text, double& out);
 
+/// Fixed-notation formatting with exactly `precision` digits after the
+/// decimal point — the locale-independent replacement for snprintf
+/// "%.Nf" in CSV/report emitters.  Byte-identical to the C-locale printf
+/// output (to_chars fixed formatting rounds the same way), but immune to
+/// LC_NUMERIC.  `precision` is clamped to [0, 64].
+std::string format_double_fixed(double v, int precision);
+
 /// parse_double plus a finiteness requirement — the variant CLI flags and
 /// config keys want, where "nan", "inf" or "5x" must be a loud error, not
 /// a value.  Returns false unless `text` parses completely to a finite

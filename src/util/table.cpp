@@ -1,8 +1,9 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
+
+#include "util/numeric.hpp"
 
 namespace seo {
 
@@ -73,9 +74,9 @@ std::string TextTable::render_csv() const {
 }
 
 std::string fmt_double(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
+  // to_chars fixed formatting, not snprintf "%.*f": the bytes match the
+  // C-locale printf output but cannot drift under LC_NUMERIC.
+  return format_double_fixed(v, precision);
 }
 
 std::string fmt_percent(double fraction, int precision) {

@@ -1,0 +1,6 @@
+// Fixture: the iostream-float submatch of float-format only applies to
+// src/ and tools/ — bench harness output never reaches a report artifact,
+// so streaming floats here is clean.
+#include <iostream>
+
+void print_speedup(double speedup) { std::cout << speedup << "x\n"; }

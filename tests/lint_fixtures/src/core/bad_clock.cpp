@@ -1,0 +1,20 @@
+// Fixture: every banned wall-clock read form.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long wall_now() {
+  auto tp = std::chrono::system_clock::now();  // EXPECT(wall-clock)
+  (void)tp;
+  std::time_t t = time(nullptr);  // EXPECT(wall-clock)
+  (void)t;
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);  // EXPECT(wall-clock)
+  return tv.tv_sec;
+}
+
+// Accessor calls that merely LOOK like time() must not fire.
+struct World {
+  double time() const { return 0.0; }
+};
+double clean_accessor(const World& world) { return world.time(); }

@@ -1,0 +1,11 @@
+// Fixture: src/core/binary_io.* is the allowlisted serialization module —
+// it may use the raw primitives it wraps in fixed-width codecs.
+#include <cstdio>
+#include <cstdint>
+
+void put_u32(std::uint32_t v, std::FILE* f) {
+  unsigned char bytes[4] = {
+      static_cast<unsigned char>(v), static_cast<unsigned char>(v >> 8),
+      static_cast<unsigned char>(v >> 16), static_cast<unsigned char>(v >> 24)};
+  fwrite(bytes, 1, sizeof bytes, f);
+}

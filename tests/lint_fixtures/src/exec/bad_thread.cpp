@@ -1,0 +1,13 @@
+// Fixture: unmanaged concurrency primitives.
+#include <future>
+#include <thread>
+
+void spawn(int n) {
+  std::thread worker([n] { (void)n; });  // EXPECT(raw-thread)
+  worker.detach();  // EXPECT(raw-thread)
+  auto f = std::async(std::launch::async, [] {});  // EXPECT(raw-thread)
+  f.wait();
+}
+
+// Queries are not spawns.
+unsigned clean_query() { return std::thread::hardware_concurrency(); }

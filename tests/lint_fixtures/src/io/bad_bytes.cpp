@@ -1,0 +1,15 @@
+// Fixture: raw byte-punning serialization.
+#include <cstdio>
+
+struct Record {
+  int id;
+  double value;
+};
+
+void save(const Record& r, std::FILE* f) {
+  fwrite(&r, sizeof r, 1, f);  // EXPECT(raw-bytes)
+}
+
+void load(Record& r, const char* bytes) {
+  r = *reinterpret_cast<const Record*>(bytes);  // EXPECT(raw-bytes)
+}

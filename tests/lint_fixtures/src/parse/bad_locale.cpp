@@ -1,0 +1,12 @@
+// Fixture: locale-dependent parsing and locale mutation.
+#include <clocale>
+#include <cstdlib>
+#include <string>
+
+double parse_all(const std::string& text) {
+  std::setlocale(LC_ALL, "C");  // EXPECT(locale)
+  double a = std::strtod(text.c_str(), nullptr);  // EXPECT(locale)
+  double b = std::atof(text.c_str());  // EXPECT(locale)
+  double c = std::stod(text);  // EXPECT(locale)
+  return a + b + c;
+}

@@ -1,0 +1,24 @@
+// Fixture: every banned floating-point formatting path in library code.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+void emit(double value, int count) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%8.3f\n", value);  // EXPECT(float-format)
+  std::printf("%e\n", value);  // EXPECT(float-format)
+  std::string s = std::to_string(value);  // EXPECT(float-format)
+  std::cout << value;  // EXPECT(float-format)
+  std::cout << 1.5;  // EXPECT(float-format)
+
+  // Integer formatting is locale-safe in every one of these shapes.
+  std::printf("%d %s\n", count, s.c_str());
+  std::string n = std::to_string(count);
+  std::cout << count << n;
+}
+
+double scale(double value);
+
+void emit_via_func(double value) {
+  std::cout << scale(value);  // EXPECT(float-format)
+}

@@ -1,0 +1,27 @@
+// Fixture: hash-order iteration reaching a digest.  The file mentions a
+// digest-producing identifier, so range-for over unordered containers is
+// hash-order leakage.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::uint64_t digest_of(const std::string& s);
+
+using Index = std::unordered_map<std::string, int>;
+
+std::uint64_t report_digest(const Index& index,
+                            const std::unordered_set<std::string>& names) {
+  std::uint64_t acc = 0;
+  for (const auto& [key, value] : index)  // EXPECT(unordered-iter)
+    acc ^= digest_of(key) + static_cast<std::uint64_t>(value);
+  for (const auto& name : names)  // EXPECT(unordered-iter)
+    acc ^= digest_of(name);
+  return acc;
+}
+
+// Lookup (no iteration) and counting loops stay clean.
+int clean_lookup(const Index& index, const std::string& key) {
+  const auto it = index.find(key);
+  return it == index.end() ? 0 : it->second;
+}

@@ -1,0 +1,10 @@
+// Fixture: range-for over an unordered container in a file with no
+// digest/report/serialization surface — order never escapes, no finding.
+#include <string>
+#include <unordered_map>
+
+int total(const std::unordered_map<std::string, int>& counts) {
+  int sum = 0;
+  for (const auto& [key, value] : counts) sum += value;
+  return sum;
+}

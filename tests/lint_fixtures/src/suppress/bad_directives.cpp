@@ -1,0 +1,28 @@
+// Fixture: malformed directives are findings themselves (bad-suppression)
+// and suppress nothing.
+#include <chrono>
+
+long unjustified() {
+  // seo-lint: allow(wall-clock)  EXPECT(bad-suppression)
+  auto tp = std::chrono::system_clock::now();  // EXPECT(wall-clock)
+  return tp.time_since_epoch().count();
+}
+
+long unknown_rule() {
+  // A well-formed directive naming a rule that does not exist must fail
+  // loudly, not silently guard nothing.
+  auto tp = std::chrono::system_clock::now();  // seo-lint: allow(wallclock-typo) -- oops  EXPECT(bad-suppression) EXPECT(wall-clock)
+  return tp.time_since_epoch().count();
+}
+
+long wrong_rule() {
+  // A suppression for a different rule does not cover this finding.
+  auto tp = std::chrono::system_clock::now();  // seo-lint: allow(raw-thread) -- fixture: wrong rule on purpose  EXPECT(wall-clock)
+  return tp.time_since_epoch().count();
+}
+
+long empty_list() {
+  // seo-lint: allow() -- no rules listed  EXPECT(bad-suppression)
+  auto tp = std::chrono::system_clock::now();  // EXPECT(wall-clock)
+  return tp.time_since_epoch().count();
+}

@@ -1,0 +1,25 @@
+// Fixture: well-formed suppressions silence their rule — and ONLY their
+// rule, on ONLY the guarded line.  This file must lint clean.
+#include <chrono>
+#include <thread>
+
+long trailing_form() {
+  auto tp = std::chrono::system_clock::now();  // seo-lint: allow(wall-clock) -- fixture: trailing directive guards its own line
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+void own_line_form() {
+  // seo-lint: allow(raw-thread) -- fixture: an own-line directive guards
+  // the next line of code, across wrapped justification comments.
+  std::thread worker([] {});
+  worker.join();
+}
+
+void multi_rule_form() {
+  // seo-lint: allow(wall-clock, raw-thread) -- fixture: one directive may
+  // list several rules for one line.
+  std::thread clock_reader([] { (void)std::chrono::system_clock::now(); });
+  clock_reader.join();
+}

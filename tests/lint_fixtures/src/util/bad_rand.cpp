@@ -1,0 +1,16 @@
+// Fixture: banned randomness sources outside src/util/rng.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;  // EXPECT(raw-rand)
+  std::mt19937 gen(rd());  // EXPECT(raw-rand)
+  std::uniform_int_distribution<int> die(1, 6);  // EXPECT(raw-rand)
+  srand(42);  // EXPECT(raw-rand)
+  return die(gen) + rand();  // EXPECT(raw-rand)
+}
+
+// Member access named rand is an accessor call, not libc rand.
+struct Sampler;
+int sampler_rand(const Sampler& s);
+int clean_member(const Sampler* s) { return s->rand; }

@@ -1,0 +1,16 @@
+// Fixture: src/util/numeric.* is the allowlisted formatting/parsing home —
+// the locale-sensitive primitives it replaces may appear here (e.g. in
+// round-trip verification against the libc behavior) without findings.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+double reference_parse(const std::string& text) {
+  return std::strtod(text.c_str(), nullptr);
+}
+
+std::string reference_format(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}

@@ -1,0 +1,9 @@
+// Fixture: src/util/rng.* is the allowlisted home of raw randomness —
+// the same primitives that fire in bad_rand.cpp must stay silent here.
+#include <random>
+
+unsigned long long seed_mix(unsigned long long seed) {
+  std::mt19937_64 engine(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  return engine() ^ static_cast<unsigned long long>(unit(engine) * 1e9);
+}

@@ -1,0 +1,9 @@
+// Fixture: src/util/thread_pool.* is the allowlisted home of raw threads.
+#include <thread>
+#include <vector>
+
+void run_workers(int n) {
+  std::vector<std::thread> workers;
+  for (int i = 0; i < n; ++i) workers.emplace_back([] {});
+  for (std::thread& w : workers) w.join();
+}

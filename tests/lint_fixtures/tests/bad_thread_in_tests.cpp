@@ -1,0 +1,8 @@
+// Fixture: raw-thread applies to tests too — racing the pool from a test
+// needs an explicit justified suppression, like everything else.
+#include <thread>
+
+void spawn_in_test() {
+  std::thread t([] {});  // EXPECT(raw-thread)
+  t.join();
+}

@@ -1,0 +1,189 @@
+// Drives the seo-lint CLI (tools/seo-lint) over the fixture corpus in
+// tests/lint_fixtures and cross-checks its --json output against the
+// EXPECT(rule) markers embedded in the fixtures: every marked line must
+// be found with exactly that rule, and nothing unmarked may be flagged.
+// Also asserts the CLI contract pieces CI leans on: exit codes, the
+// text format, --list-rules, and that the real tree lints clean.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+/// Runs the CLI via popen, capturing stdout (stderr flows through to the
+/// test log, where it is useful on failure).
+RunResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(SEO_LINT_BINARY) + " " + args;
+  RunResult r;
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  std::size_t n = 0;
+  // seo-lint: allow(raw-bytes) -- draining a pipe of CLI text output;
+  // no struct layout ever touches these bytes.
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) r.out.append(buf, n);
+  const int status = pclose(pipe);
+  r.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+using FindingKey = std::pair<std::string, int>;  // (file, line)
+using FindingSet = std::map<FindingKey, std::set<std::string>>;  // -> rules
+
+/// Minimal parser for the CLI's own --json emitter (one object per line,
+/// fixed key order) — not a general JSON parser, and that is fine: the
+/// emitter is ours, and drift in its format should fail this test.
+FindingSet parse_json(const std::string& json) {
+  FindingSet out;
+  std::istringstream in(json);
+  std::string line;
+  const auto field = [&line](const char* key) -> std::string {
+    const std::string marker = std::string("\"") + key + "\": ";
+    const std::size_t at = line.find(marker);
+    EXPECT_NE(at, std::string::npos) << "missing " << key << " in: " << line;
+    if (at == std::string::npos) return "";
+    std::size_t start = at + marker.size();
+    if (line[start] == '"') {
+      const std::size_t end = line.find('"', start + 1);
+      return line.substr(start + 1, end - start - 1);
+    }
+    std::size_t end = start;
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    return line.substr(start, end - start);
+  };
+  while (std::getline(in, line)) {
+    if (line.find("{\"file\"") == std::string::npos) continue;
+    const std::string file = field("file");
+    const int lineno = std::stoi(field("line"));
+    out[{file, lineno}].insert(field("rule"));
+  }
+  return out;
+}
+
+/// Scans every fixture for EXPECT(rule) markers -> the golden finding set.
+FindingSet collect_expectations(const fs::path& root) {
+  FindingSet expected;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+    const std::string rel =
+        fs::relative(entry.path(), root).generic_string();
+    std::ifstream in(entry.path());
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      std::size_t at = 0;
+      while ((at = line.find("EXPECT(", at)) != std::string::npos) {
+        const std::size_t close = line.find(')', at);
+        EXPECT_NE(close, std::string::npos) << rel << ":" << lineno;
+        if (close == std::string::npos) break;
+        expected[{rel, lineno}].insert(
+            line.substr(at + 7, close - at - 7));
+        at = close;
+      }
+    }
+  }
+  return expected;
+}
+
+std::string describe(const FindingSet& s) {
+  std::string out;
+  for (const auto& [key, rules] : s)
+    for (const auto& rule : rules)
+      out += "  " + key.first + ":" + std::to_string(key.second) + ": " +
+             rule + "\n";
+  return out.empty() ? "  (none)\n" : out;
+}
+
+TEST(SeoLint, FixtureCorpusMatchesGoldenFindings) {
+  const fs::path fixtures = SEO_LINT_FIXTURES;
+  ASSERT_TRUE(fs::is_directory(fixtures)) << fixtures;
+  const FindingSet expected = collect_expectations(fixtures);
+  ASSERT_FALSE(expected.empty()) << "no EXPECT markers found — corpus gone?";
+
+  const RunResult r =
+      run_lint("--json --root " + fixtures.string() + " " + fixtures.string());
+  ASSERT_EQ(r.exit_code, 1) << "violation corpus must exit 1\n" << r.out;
+  const FindingSet actual = parse_json(r.out);
+
+  FindingSet missing, extra;
+  for (const auto& [key, rules] : expected)
+    for (const auto& rule : rules) {
+      const auto it = actual.find(key);
+      if (it == actual.end() || it->second.count(rule) == 0)
+        missing[key].insert(rule);
+    }
+  for (const auto& [key, rules] : actual)
+    for (const auto& rule : rules) {
+      const auto it = expected.find(key);
+      if (it == expected.end() || it->second.count(rule) == 0)
+        extra[key].insert(rule);
+    }
+  EXPECT_TRUE(missing.empty())
+      << "fixture violations the linter MISSED:\n" << describe(missing);
+  EXPECT_TRUE(extra.empty())
+      << "findings with no EXPECT marker (false positives):\n"
+      << describe(extra);
+}
+
+TEST(SeoLint, TextOutputFormatIsFileLineRuleMessage) {
+  const fs::path fixture =
+      fs::path(SEO_LINT_FIXTURES) / "src" / "io" / "bad_bytes.cpp";
+  const RunResult r = run_lint("--root " + std::string(SEO_LINT_FIXTURES) +
+                               " " + fixture.string());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("src/io/bad_bytes.cpp:"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find(": raw-bytes: "), std::string::npos) << r.out;
+}
+
+TEST(SeoLint, CleanFileExitsZeroWithEmptyJson) {
+  const fs::path fixture =
+      fs::path(SEO_LINT_FIXTURES) / "src" / "sim" / "ok_iter.cpp";
+  const RunResult r = run_lint("--json " + fixture.string());
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(parse_json(r.out).size(), 0u) << r.out;
+}
+
+TEST(SeoLint, ListRulesNamesEveryRule) {
+  const RunResult r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule :
+       {"wall-clock", "raw-rand", "unordered-iter", "float-format", "locale",
+        "raw-thread", "raw-bytes", "bad-suppression"})
+    EXPECT_NE(r.out.find(rule), std::string::npos) << "missing " << rule;
+}
+
+TEST(SeoLint, UnknownOptionAndMissingFileExitTwo) {
+  EXPECT_EQ(run_lint("--no-such-flag 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(run_lint("does/not/exist.cpp 2>/dev/null").exit_code, 2);
+}
+
+// The repo's own gate, mirrored as a test so `ctest` alone catches a
+// determinism regression without the CI lint job.
+TEST(SeoLint, RealTreeLintsClean) {
+  const RunResult r = run_lint("--root " + std::string(SEO_REPO_ROOT));
+  EXPECT_EQ(r.exit_code, 0) << "unsuppressed findings on the tree:\n"
+                            << r.out;
+}
+
+}  // namespace

@@ -188,6 +188,8 @@ TEST(DeadlineTableCache, ConcurrentRequestsShareOneBuild) {
   };
 
   std::vector<std::shared_ptr<const DeadlineTable>> tables(kThreads);
+  // seo-lint: allow(raw-thread) -- all threads must dogpile one in-flight
+  // build simultaneously; pool partitioning would serialize them.
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t)

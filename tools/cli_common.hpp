@@ -30,8 +30,8 @@ inline double parse_numeric_flag(const std::string& flag,
                                  double min_value = 0.0) {
   double v = 0.0;
   if (!parse_finite_double(text, v) || v < min_value) {
-    std::cerr << flag << " expects a finite number >= " << min_value
-              << ", got '" << text << "'\n";
+    std::cerr << flag << " expects a finite number >= "
+              << format_double(min_value) << ", got '" << text << "'\n";
     std::exit(2);
   }
   return v;

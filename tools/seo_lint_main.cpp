@@ -1,0 +1,220 @@
+// seo-lint — the determinism static-analysis gate (src/lint).
+//
+// Walks src/ tools/ tests/ bench/ under --root (default: the current
+// directory), lexes every C++ file and applies the determinism rule table.
+// Findings print as `file:line: rule: message` (or a JSON array with
+// --json); the exit status gates CI: 0 clean, 1 findings, 2 usage or I/O
+// error.  Explicit paths (files or directories) replace the default walk —
+// that is how the fixture corpus under tests/lint_fixtures exercises the
+// rules without failing the tree gate (the default walk skips any path
+// containing "lint_fixtures").
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: seo-lint [options] [paths...]\n"
+    "\n"
+    "Static-analysis gate for the repo's determinism contract: byte-\n"
+    "identical sweep/fleet/trace/artifact output at any thread count, on\n"
+    "any host, under any locale.\n"
+    "\n"
+    "With no paths, walks src/ tools/ tests/ bench/ under --root,\n"
+    "skipping the lint_fixtures corpus.  Paths may be files or\n"
+    "directories and are linted relative to --root when inside it.\n"
+    "\n"
+    "options:\n"
+    "  --root DIR     repo root to walk and relativize against (default .)\n"
+    "  --json         findings as a JSON array on stdout\n"
+    "  --list-rules   print the rule catalogue and exit\n"
+    "  -h, --help     this text\n"
+    "\n"
+    "suppression:\n"
+    "  // seo-lint: allow(rule) -- justification\n"
+    "on the offending line, or on its own line directly above.  The\n"
+    "justification is mandatory; a malformed directive is itself a\n"
+    "finding (bad-suppression) and can never be suppressed.\n"
+    "\n"
+    "exit status: 0 clean, 1 findings, 2 usage or I/O error\n";
+
+bool has_cpp_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh" || ext == ".cxx";
+}
+
+/// Repo-relative forward-slash path when `path` is under `root`, else the
+/// path as given — the rule allowlists and scopes match on this string.
+std::string lint_path(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  const fs::path chosen =
+      (!ec && !rel.empty() && rel.native()[0] != '.') ? rel : path;
+  return chosen.generic_string();
+}
+
+void collect_dir(const fs::path& dir, const fs::path& root, bool skip_fixtures,
+                 std::vector<fs::path>& out) {
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (!has_cpp_extension(p)) continue;
+    if (skip_fixtures &&
+        p.generic_string().find("lint_fixtures") != std::string::npos)
+      continue;
+    out.push_back(p);
+  }
+  (void)root;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool json = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--list-rules") {
+      for (const auto& rule : seo::lint::rule_catalogue())
+        std::cout << rule.name << ": " << rule.summary << "\n";
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "seo-lint: --root expects a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "seo-lint: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+    inputs.push_back(arg);
+  }
+
+  std::vector<fs::path> files;
+  if (inputs.empty()) {
+    // The canonical tree: every directory the determinism contract covers.
+    for (const char* dir : {"src", "tools", "tests", "bench"}) {
+      const fs::path sub = root / dir;
+      std::error_code ec;
+      if (fs::is_directory(sub, ec))
+        collect_dir(sub, root, /*skip_fixtures=*/true, files);
+    }
+    if (files.empty()) {
+      std::cerr << "seo-lint: nothing to lint under " << root
+                << " (no src/ tools/ tests/ bench/)\n";
+      return 2;
+    }
+  } else {
+    for (const std::string& input : inputs) {
+      const fs::path p = input;
+      std::error_code ec;
+      if (fs::is_directory(p, ec)) {
+        collect_dir(p, root, /*skip_fixtures=*/false, files);
+      } else if (fs::is_regular_file(p, ec)) {
+        files.push_back(p);
+      } else {
+        std::cerr << "seo-lint: no such file or directory: " << input << "\n";
+        return 2;
+      }
+    }
+  }
+
+  // Deterministic report order regardless of directory iteration order.
+  std::vector<std::pair<std::string, fs::path>> work;
+  work.reserve(files.size());
+  for (const fs::path& p : files) work.emplace_back(lint_path(p, root), p);
+  std::sort(work.begin(), work.end());
+  work.erase(std::unique(work.begin(), work.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first;
+                         }),
+             work.end());
+
+  std::vector<seo::lint::Finding> findings;
+  std::size_t files_with_findings = 0;
+  for (const auto& [name, path] : work) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "seo-lint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+    std::vector<seo::lint::Finding> file_findings =
+        seo::lint::lint_file(name, source);
+    if (!file_findings.empty()) ++files_with_findings;
+    for (auto& f : file_findings) findings.push_back(std::move(f));
+  }
+
+  if (json) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      const auto& f = findings[i];
+      std::cout << (i == 0 ? "\n" : ",\n")
+                << "  {\"file\": \"" << json_escape(f.file)
+                << "\", \"line\": " << f.line << ", \"rule\": \""
+                << json_escape(f.rule) << "\", \"message\": \""
+                << json_escape(f.message) << "\"}";
+    }
+    std::cout << (findings.empty() ? "]\n" : "\n]\n");
+  } else {
+    for (const auto& f : findings)
+      std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+                << f.message << "\n";
+  }
+  std::cerr << "seo-lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << " in "
+            << files_with_findings << " of " << work.size()
+            << " files\n";
+  return findings.empty() ? 0 : 1;
+}
