@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/hybrid_policy.cpp" "CMakeFiles/seo.dir/src/control/hybrid_policy.cpp.o" "gcc" "CMakeFiles/seo.dir/src/control/hybrid_policy.cpp.o.d"
+  "/root/repo/src/control/neural_policy.cpp" "CMakeFiles/seo.dir/src/control/neural_policy.cpp.o" "gcc" "CMakeFiles/seo.dir/src/control/neural_policy.cpp.o.d"
+  "/root/repo/src/core/artifact_store.cpp" "CMakeFiles/seo.dir/src/core/artifact_store.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/artifact_store.cpp.o.d"
+  "/root/repo/src/core/binary_io.cpp" "CMakeFiles/seo.dir/src/core/binary_io.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/binary_io.cpp.o.d"
+  "/root/repo/src/core/fingerprint.cpp" "CMakeFiles/seo.dir/src/core/fingerprint.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/fingerprint.cpp.o.d"
+  "/root/repo/src/core/model_registry.cpp" "CMakeFiles/seo.dir/src/core/model_registry.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/model_registry.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "CMakeFiles/seo.dir/src/core/runtime.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/runtime.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "CMakeFiles/seo.dir/src/core/scheduler.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "CMakeFiles/seo.dir/src/core/strategy.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/strategy.cpp.o.d"
+  "/root/repo/src/core/timebase.cpp" "CMakeFiles/seo.dir/src/core/timebase.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/timebase.cpp.o.d"
+  "/root/repo/src/core/wallclock.cpp" "CMakeFiles/seo.dir/src/core/wallclock.cpp.o" "gcc" "CMakeFiles/seo.dir/src/core/wallclock.cpp.o.d"
+  "/root/repo/src/dynamics/bicycle.cpp" "CMakeFiles/seo.dir/src/dynamics/bicycle.cpp.o" "gcc" "CMakeFiles/seo.dir/src/dynamics/bicycle.cpp.o.d"
+  "/root/repo/src/dynamics/motion.cpp" "CMakeFiles/seo.dir/src/dynamics/motion.cpp.o" "gcc" "CMakeFiles/seo.dir/src/dynamics/motion.cpp.o.d"
+  "/root/repo/src/dynamics/obstacle.cpp" "CMakeFiles/seo.dir/src/dynamics/obstacle.cpp.o" "gcc" "CMakeFiles/seo.dir/src/dynamics/obstacle.cpp.o.d"
+  "/root/repo/src/dynamics/road.cpp" "CMakeFiles/seo.dir/src/dynamics/road.cpp.o" "gcc" "CMakeFiles/seo.dir/src/dynamics/road.cpp.o.d"
+  "/root/repo/src/energy/breakdown.cpp" "CMakeFiles/seo.dir/src/energy/breakdown.cpp.o" "gcc" "CMakeFiles/seo.dir/src/energy/breakdown.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "CMakeFiles/seo.dir/src/energy/power_model.cpp.o" "gcc" "CMakeFiles/seo.dir/src/energy/power_model.cpp.o.d"
+  "/root/repo/src/energy/report.cpp" "CMakeFiles/seo.dir/src/energy/report.cpp.o" "gcc" "CMakeFiles/seo.dir/src/energy/report.cpp.o.d"
+  "/root/repo/src/energy/tally.cpp" "CMakeFiles/seo.dir/src/energy/tally.cpp.o" "gcc" "CMakeFiles/seo.dir/src/energy/tally.cpp.o.d"
+  "/root/repo/src/lint/lexer.cpp" "CMakeFiles/seo.dir/src/lint/lexer.cpp.o" "gcc" "CMakeFiles/seo.dir/src/lint/lexer.cpp.o.d"
+  "/root/repo/src/lint/rules.cpp" "CMakeFiles/seo.dir/src/lint/rules.cpp.o" "gcc" "CMakeFiles/seo.dir/src/lint/rules.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "CMakeFiles/seo.dir/src/net/channel.cpp.o" "gcc" "CMakeFiles/seo.dir/src/net/channel.cpp.o.d"
+  "/root/repo/src/net/edge_cluster.cpp" "CMakeFiles/seo.dir/src/net/edge_cluster.cpp.o" "gcc" "CMakeFiles/seo.dir/src/net/edge_cluster.cpp.o.d"
+  "/root/repo/src/net/edge_server.cpp" "CMakeFiles/seo.dir/src/net/edge_server.cpp.o" "gcc" "CMakeFiles/seo.dir/src/net/edge_server.cpp.o.d"
+  "/root/repo/src/net/offload_link.cpp" "CMakeFiles/seo.dir/src/net/offload_link.cpp.o" "gcc" "CMakeFiles/seo.dir/src/net/offload_link.cpp.o.d"
+  "/root/repo/src/net/response_estimator.cpp" "CMakeFiles/seo.dir/src/net/response_estimator.cpp.o" "gcc" "CMakeFiles/seo.dir/src/net/response_estimator.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "CMakeFiles/seo.dir/src/nn/activation.cpp.o" "gcc" "CMakeFiles/seo.dir/src/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/cem.cpp" "CMakeFiles/seo.dir/src/nn/cem.cpp.o" "gcc" "CMakeFiles/seo.dir/src/nn/cem.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "CMakeFiles/seo.dir/src/nn/matrix.cpp.o" "gcc" "CMakeFiles/seo.dir/src/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "CMakeFiles/seo.dir/src/nn/mlp.cpp.o" "gcc" "CMakeFiles/seo.dir/src/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/weights_store.cpp" "CMakeFiles/seo.dir/src/nn/weights_store.cpp.o" "gcc" "CMakeFiles/seo.dir/src/nn/weights_store.cpp.o.d"
+  "/root/repo/src/safety/barrier.cpp" "CMakeFiles/seo.dir/src/safety/barrier.cpp.o" "gcc" "CMakeFiles/seo.dir/src/safety/barrier.cpp.o.d"
+  "/root/repo/src/safety/deadline_table.cpp" "CMakeFiles/seo.dir/src/safety/deadline_table.cpp.o" "gcc" "CMakeFiles/seo.dir/src/safety/deadline_table.cpp.o.d"
+  "/root/repo/src/safety/safe_interval.cpp" "CMakeFiles/seo.dir/src/safety/safe_interval.cpp.o" "gcc" "CMakeFiles/seo.dir/src/safety/safe_interval.cpp.o.d"
+  "/root/repo/src/safety/safety_filter.cpp" "CMakeFiles/seo.dir/src/safety/safety_filter.cpp.o" "gcc" "CMakeFiles/seo.dir/src/safety/safety_filter.cpp.o.d"
+  "/root/repo/src/safety/table_cache.cpp" "CMakeFiles/seo.dir/src/safety/table_cache.cpp.o" "gcc" "CMakeFiles/seo.dir/src/safety/table_cache.cpp.o.d"
+  "/root/repo/src/sensors/detector.cpp" "CMakeFiles/seo.dir/src/sensors/detector.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sensors/detector.cpp.o.d"
+  "/root/repo/src/sensors/sensor_spec.cpp" "CMakeFiles/seo.dir/src/sensors/sensor_spec.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sensors/sensor_spec.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "CMakeFiles/seo.dir/src/sim/experiment.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/fleet_experiment.cpp" "CMakeFiles/seo.dir/src/sim/fleet_experiment.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/fleet_experiment.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "CMakeFiles/seo.dir/src/sim/scenario.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/scenario_io.cpp" "CMakeFiles/seo.dir/src/sim/scenario_io.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/scenario_io.cpp.o.d"
+  "/root/repo/src/sim/scenario_library.cpp" "CMakeFiles/seo.dir/src/sim/scenario_library.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/scenario_library.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "CMakeFiles/seo.dir/src/sim/simulation.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "CMakeFiles/seo.dir/src/sim/sweep.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/sweep.cpp.o.d"
+  "/root/repo/src/sim/sweep_report.cpp" "CMakeFiles/seo.dir/src/sim/sweep_report.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/sweep_report.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/seo.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "CMakeFiles/seo.dir/src/sim/world.cpp.o" "gcc" "CMakeFiles/seo.dir/src/sim/world.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "CMakeFiles/seo.dir/src/util/config.cpp.o" "gcc" "CMakeFiles/seo.dir/src/util/config.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/seo.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/seo.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/numeric.cpp" "CMakeFiles/seo.dir/src/util/numeric.cpp.o" "gcc" "CMakeFiles/seo.dir/src/util/numeric.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/seo.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/seo.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/seo.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/seo.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/seo.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/seo.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/seo.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/seo.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

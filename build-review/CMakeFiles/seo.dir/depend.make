@@ -1,0 +1,2 @@
+# Empty dependencies file for seo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadline_cap.dir/ablation_deadline_cap.cpp.o"
+  "CMakeFiles/ablation_deadline_cap.dir/ablation_deadline_cap.cpp.o.d"
+  "ablation_deadline_cap"
+  "ablation_deadline_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadline_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

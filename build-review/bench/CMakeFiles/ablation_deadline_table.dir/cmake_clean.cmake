@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadline_table.dir/ablation_deadline_table.cpp.o"
+  "CMakeFiles/ablation_deadline_table.dir/ablation_deadline_table.cpp.o.d"
+  "ablation_deadline_table"
+  "ablation_deadline_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadline_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

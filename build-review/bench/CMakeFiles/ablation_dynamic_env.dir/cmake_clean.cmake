@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_env.dir/ablation_dynamic_env.cpp.o"
+  "CMakeFiles/ablation_dynamic_env.dir/ablation_dynamic_env.cpp.o.d"
+  "ablation_dynamic_env"
+  "ablation_dynamic_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

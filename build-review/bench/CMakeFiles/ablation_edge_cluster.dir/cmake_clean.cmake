@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edge_cluster.dir/ablation_edge_cluster.cpp.o"
+  "CMakeFiles/ablation_edge_cluster.dir/ablation_edge_cluster.cpp.o.d"
+  "ablation_edge_cluster"
+  "ablation_edge_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edge_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

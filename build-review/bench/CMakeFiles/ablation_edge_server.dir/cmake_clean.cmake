@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edge_server.dir/ablation_edge_server.cpp.o"
+  "CMakeFiles/ablation_edge_server.dir/ablation_edge_server.cpp.o.d"
+  "ablation_edge_server"
+  "ablation_edge_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edge_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fleet.dir/ablation_fleet.cpp.o"
+  "CMakeFiles/ablation_fleet.dir/ablation_fleet.cpp.o.d"
+  "ablation_fleet"
+  "ablation_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

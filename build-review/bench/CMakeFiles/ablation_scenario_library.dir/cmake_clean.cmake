@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scenario_library.dir/ablation_scenario_library.cpp.o"
+  "CMakeFiles/ablation_scenario_library.dir/ablation_scenario_library.cpp.o.d"
+  "ablation_scenario_library"
+  "ablation_scenario_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scenario_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tau_sweep.dir/ablation_tau_sweep.cpp.o"
+  "CMakeFiles/ablation_tau_sweep.dir/ablation_tau_sweep.cpp.o.d"
+  "ablation_tau_sweep"
+  "ablation_tau_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tau_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

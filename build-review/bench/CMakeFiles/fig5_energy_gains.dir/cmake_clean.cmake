@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_energy_gains.dir/fig5_energy_gains.cpp.o"
+  "CMakeFiles/fig5_energy_gains.dir/fig5_energy_gains.cpp.o.d"
+  "fig5_energy_gains"
+  "fig5_energy_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_energy_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_deadline_histogram.dir/fig6_deadline_histogram.cpp.o"
+  "CMakeFiles/fig6_deadline_histogram.dir/fig6_deadline_histogram.cpp.o.d"
+  "fig6_deadline_histogram"
+  "fig6_deadline_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_deadline_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

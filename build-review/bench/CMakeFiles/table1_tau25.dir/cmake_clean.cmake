@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tau25.dir/table1_tau25.cpp.o"
+  "CMakeFiles/table1_tau25.dir/table1_tau25.cpp.o.d"
+  "table1_tau25"
+  "table1_tau25.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tau25.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

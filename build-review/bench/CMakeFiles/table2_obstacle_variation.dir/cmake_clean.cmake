@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_obstacle_variation.dir/table2_obstacle_variation.cpp.o"
+  "CMakeFiles/table2_obstacle_variation.dir/table2_obstacle_variation.cpp.o.d"
+  "table2_obstacle_variation"
+  "table2_obstacle_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_obstacle_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

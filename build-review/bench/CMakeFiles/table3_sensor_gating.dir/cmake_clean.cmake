@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sensor_gating.dir/table3_sensor_gating.cpp.o"
+  "CMakeFiles/table3_sensor_gating.dir/table3_sensor_gating.cpp.o.d"
+  "table3_sensor_gating"
+  "table3_sensor_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sensor_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_scenario.dir/offload_scenario.cpp.o"
+  "CMakeFiles/offload_scenario.dir/offload_scenario.cpp.o.d"
+  "offload_scenario"
+  "offload_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_sweep.dir/risk_sweep.cpp.o"
+  "CMakeFiles/risk_sweep.dir/risk_sweep.cpp.o.d"
+  "risk_sweep"
+  "risk_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_tour.dir/scenario_tour.cpp.o"
+  "CMakeFiles/scenario_tour.dir/scenario_tour.cpp.o.d"
+  "scenario_tour"
+  "scenario_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

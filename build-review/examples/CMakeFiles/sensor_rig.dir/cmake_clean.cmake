@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_rig.dir/sensor_rig.cpp.o"
+  "CMakeFiles/sensor_rig.dir/sensor_rig.cpp.o.d"
+  "sensor_rig"
+  "sensor_rig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_rig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

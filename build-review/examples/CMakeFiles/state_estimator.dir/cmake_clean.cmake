@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_estimator.dir/state_estimator.cpp.o"
+  "CMakeFiles/state_estimator.dir/state_estimator.cpp.o.d"
+  "state_estimator"
+  "state_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

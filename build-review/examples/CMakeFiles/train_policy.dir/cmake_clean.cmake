@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_policy.dir/train_policy.cpp.o"
+  "CMakeFiles/train_policy.dir/train_policy.cpp.o.d"
+  "train_policy"
+  "train_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

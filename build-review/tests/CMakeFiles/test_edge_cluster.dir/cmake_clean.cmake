@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_cluster.dir/test_edge_cluster.cpp.o"
+  "CMakeFiles/test_edge_cluster.dir/test_edge_cluster.cpp.o.d"
+  "test_edge_cluster"
+  "test_edge_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hotpath_alloc.dir/test_hotpath_alloc.cpp.o"
+  "CMakeFiles/test_hotpath_alloc.dir/test_hotpath_alloc.cpp.o.d"
+  "test_hotpath_alloc"
+  "test_hotpath_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hotpath_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locale_numeric.dir/test_locale_numeric.cpp.o"
+  "CMakeFiles/test_locale_numeric.dir/test_locale_numeric.cpp.o.d"
+  "test_locale_numeric"
+  "test_locale_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locale_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

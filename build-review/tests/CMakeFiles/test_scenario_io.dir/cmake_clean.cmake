@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_io.dir/test_scenario_io.cpp.o"
+  "CMakeFiles/test_scenario_io.dir/test_scenario_io.cpp.o.d"
+  "test_scenario_io"
+  "test_scenario_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_library.dir/test_scenario_library.cpp.o"
+  "CMakeFiles/test_scenario_library.dir/test_scenario_library.cpp.o.d"
+  "test_scenario_library"
+  "test_scenario_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seo_lint.dir/test_seo_lint.cpp.o"
+  "CMakeFiles/test_seo_lint.dir/test_seo_lint.cpp.o.d"
+  "test_seo_lint"
+  "test_seo_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seo_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

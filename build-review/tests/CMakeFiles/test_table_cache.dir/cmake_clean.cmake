@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_cache.dir/test_table_cache.cpp.o"
+  "CMakeFiles/test_table_cache.dir/test_table_cache.cpp.o.d"
+  "test_table_cache"
+  "test_table_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

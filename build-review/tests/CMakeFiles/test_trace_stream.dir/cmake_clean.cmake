@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_stream.dir/test_trace_stream.cpp.o"
+  "CMakeFiles/test_trace_stream.dir/test_trace_stream.cpp.o.d"
+  "test_trace_stream"
+  "test_trace_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

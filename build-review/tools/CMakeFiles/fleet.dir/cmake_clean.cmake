@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet.dir/fleet_main.cpp.o"
+  "CMakeFiles/fleet.dir/fleet_main.cpp.o.d"
+  "fleet"
+  "fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seo-lint.dir/seo_lint_main.cpp.o"
+  "CMakeFiles/seo-lint.dir/seo_lint_main.cpp.o.d"
+  "seo-lint"
+  "seo-lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seo-lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace-deadline-histogram.dir/trace_deadline_histogram_main.cpp.o"
+  "CMakeFiles/trace-deadline-histogram.dir/trace_deadline_histogram_main.cpp.o.d"
+  "trace-deadline-histogram"
+  "trace-deadline-histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace-deadline-histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trace-deadline-histogram.
+# This may be replaced when dependencies are built.

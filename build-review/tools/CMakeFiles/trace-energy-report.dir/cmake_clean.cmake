@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace-energy-report.dir/trace_energy_report_main.cpp.o"
+  "CMakeFiles/trace-energy-report.dir/trace_energy_report_main.cpp.o.d"
+  "trace-energy-report"
+  "trace-energy-report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace-energy-report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace-export.dir/trace_export_main.cpp.o"
+  "CMakeFiles/trace-export.dir/trace_export_main.cpp.o.d"
+  "trace-export"
+  "trace-export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace-export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace-safety-audit.dir/trace_safety_audit_main.cpp.o"
+  "CMakeFiles/trace-safety-audit.dir/trace_safety_audit_main.cpp.o.d"
+  "trace-safety-audit"
+  "trace-safety-audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace-safety-audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

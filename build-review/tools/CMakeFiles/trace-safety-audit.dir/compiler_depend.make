@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trace-safety-audit.
+# This may be replaced when dependencies are built.
