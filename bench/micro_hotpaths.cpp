@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -242,6 +243,41 @@ BENCHMARK(BM_ExperimentBatch)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// Process-level scaling of the distributed sweep: end-to-end wall time of
+// `sweep --smoke --workers N` with single-threaded workers, so the worker
+// fan-out is the only parallelism.  Every arm shells out to the real tool
+// (workers:1 included) so spawn + pipe-merge overhead is inside the
+// measurement on both sides of the ratio — the scaling gate
+// (tools/bench_compare.py) requires workers:4 <= 0.6x workers:1 real time
+// on machines with >= 4 cores.  Episodes are padded up so per-point
+// episode work dominates the one table build each worker process repeats
+// (the in-memory artifact store is per-process; --cache dir= would share
+// it, but the benchmark must not touch the filesystem between runs).
+#ifdef SEO_SWEEP_TOOL
+void BM_SweepWorkers(benchmark::State& state) {
+  const std::string cmd =
+      std::string(SEO_SWEEP_TOOL) +
+      " --smoke --episodes 8 --max-attempts 32 --threads 1 --workers " +
+      std::to_string(state.range(0)) + " --output /dev/null 2>/dev/null";
+  for (auto _ : state) {
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      state.SkipWithError("sweep exited nonzero");
+      break;
+    }
+  }
+}
+// UseRealTime: the work happens in child processes, so this process's CPU
+// clock stays near zero — iteration scaling must follow wall time.
+BENCHMARK(BM_SweepWorkers)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+#endif
 
 // Steady-state cache hit: the lookup every episode start performs once the
 // table for its geometry exists — a key fingerprint + map probe +

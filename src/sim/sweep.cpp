@@ -138,35 +138,33 @@ ScenarioConfig resolve_point(const SweepConfig& config,
   return scenario;
 }
 
-std::vector<SweepRow> run_sweep(const SweepConfig& config) {
-  const std::vector<SweepPoint> points = expand_grid(config);
-  std::vector<SweepRow> rows(points.size());
+SweepPlan plan_sweep(const SweepConfig& config) {
+  SweepPlan plan;
+  plan.points = expand_grid(config);
 
   // Resolve every point up front (cheap config overlays) so the scheduler
   // can see each point's deadline-table digest before any episode runs.
-  std::vector<ScenarioConfig> resolved;
-  resolved.reserve(points.size());
-  for (const auto& point : points)
-    resolved.push_back(resolve_point(config, point));
+  plan.resolved.reserve(plan.points.size());
+  for (const auto& point : plan.points)
+    plan.resolved.push_back(resolve_point(config, point));
 
   // Digest-aware scheduling: execute grid points grouped by the table
   // digest run_episode will request, groups ordered by first appearance.
   // Static chunking over the grouped order puts a geometry class on one
-  // worker, so the class's first episode builds (or disk-loads) the table
-  // and every sibling hits warm — instead of colliding cold shards
-  // serializing on single-flight waits.  A group split across a chunk
-  // boundary still dedups through single-flight; grouping is purely a
-  // warmth optimization.  Points with nothing shareable (digest 0) keep
-  // their own slot in the order.
-  std::vector<std::uint64_t> digests(points.size());
-  std::vector<std::pair<std::size_t, std::size_t>> order;  // (group, index)
-  order.reserve(points.size());
+  // worker (thread or process), so the class's first episode builds (or
+  // disk-loads) the table and every sibling hits warm — instead of
+  // colliding cold shards serializing on single-flight waits.  A group
+  // split across a chunk boundary still dedups through single-flight;
+  // grouping is purely a warmth optimization.  Points with nothing
+  // shareable (digest 0) keep their own slot in the order.
+  plan.digests.resize(plan.points.size());
+  plan.order.reserve(plan.points.size());
   {
     std::unordered_map<std::uint64_t, std::size_t> group_rank;
     std::size_t next_rank = 0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      const std::uint64_t digest = scenario_table_digest(resolved[i]);
-      digests[i] = digest;
+    for (std::size_t i = 0; i < plan.points.size(); ++i) {
+      const std::uint64_t digest = scenario_table_digest(plan.resolved[i]);
+      plan.digests[i] = digest;
       std::size_t rank = 0;
       if (digest == 0) {
         rank = next_rank++;
@@ -175,48 +173,84 @@ std::vector<SweepRow> run_sweep(const SweepConfig& config) {
         if (inserted) ++next_rank;
         rank = it->second;
       }
-      order.emplace_back(rank, i);
+      plan.order.emplace_back(rank, i);
     }
-    std::sort(order.begin(), order.end());  // grid order within each group
+    std::sort(plan.order.begin(), plan.order.end());  // grid order per group
   }
 
   // The stream header's run digest: every point's table digest mixed in
-  // grid order — the canonical identity a distributed sweep shards and
-  // merges on.
-  if (config.trace_sink != nullptr) {
-    FingerprintHasher hasher;
-    for (const std::uint64_t digest : digests) hasher.mix(digest);
-    config.trace_sink->set_run_digest(hasher.digest());
+  // grid order — the canonical identity the distributed sweep shards and
+  // merges on.  Always over the full grid, so a 1-of-N shard carries the
+  // whole run's identity and cannot merge with a shard of a different run.
+  FingerprintHasher hasher;
+  for (const std::uint64_t digest : plan.digests) hasher.mix(digest);
+  plan.run_digest = hasher.digest();
+  return plan;
+}
+
+std::vector<std::size_t> SweepPlan::shard_points(std::size_t shard,
+                                                 std::size_t shards) const {
+  SEO_EXPECT(shards >= 1);
+  SEO_EXPECT(shard < shards);
+  // The same ceil-division chunking ThreadPool::run_capped applies, over
+  // the digest-grouped schedule: shard boundaries and worker-thread chunk
+  // boundaries are the same kind of cut, and every geometry class stays
+  // whole within one shard (up to the boundary points).
+  const std::size_t n = order.size();
+  const std::size_t grain = (n + shards - 1) / shards;
+  const std::size_t lo = std::min(shard * grain, n);
+  const std::size_t hi = std::min(lo + grain, n);
+  std::vector<std::size_t> owned;
+  owned.reserve(hi - lo);
+  for (std::size_t s = lo; s < hi; ++s) owned.push_back(order[s].second);
+  std::sort(owned.begin(), owned.end());
+  return owned;
+}
+
+void execute_sweep_points(const SweepConfig& config, const SweepPlan& plan,
+                          const std::vector<std::size_t>& owned,
+                          bool want_trace, const SweepEmit& emit) {
+  SEO_EXPECT(std::is_sorted(owned.begin(), owned.end()));
+  // Restrict the digest-grouped schedule to the owned set, preserving its
+  // order — an unsharded run (owned = everything) executes exactly the
+  // schedule run_sweep always has.
+  std::vector<std::size_t> exec;
+  exec.reserve(owned.size());
+  for (const auto& [rank, i] : plan.order) {
+    (void)rank;
+    if (std::binary_search(owned.begin(), owned.end(), i)) exec.push_back(i);
   }
+  SEO_EXPECT(exec.size() == owned.size());
 
   // Each grid point is an independent shard with its own slot: shards may
   // finish in any order (and, above, deliberately run out of grid order),
-  // but rows are indexed by grid position and each shard's experiment is
-  // internally serial, so the assembled vector — hence every report — is
-  // bit-identical to the serial sweep for every thread count.
+  // but emissions carry the grid index and each shard's experiment is
+  // internally serial, so the assembled result — hence every report and
+  // trace stream — is bit-identical to the serial sweep for every thread
+  // count, worker count, and schedule.
   const std::size_t workers = ThreadPool::resolve_threads(config.threads);
   ThreadPool::run_capped(
-      0, points.size(), workers, [&](std::size_t lo, std::size_t hi) {
+      0, exec.size(), workers, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t s = lo; s < hi; ++s) {
-          const std::size_t i = order[s].second;
+          const std::size_t i = exec[s];
           ExperimentConfig experiment;
-          experiment.scenario = resolved[i];
+          experiment.scenario = plan.resolved[i];
           experiment.episodes = config.episodes;
           experiment.max_attempts = config.max_attempts;
           experiment.base_seed = config.base_seed;
           experiment.require_success = config.require_success;
           experiment.threads = 1;  // parallelism lives at the grid level
           // Streaming traces: the tap serializes every consumed episode
-          // into this point's block; the block commits under the point's
-          // grid index, so the sink's ordered merge reproduces the serial
-          // stream byte-for-byte whatever the shard schedule was.
+          // into this point's block; the caller commits the block under
+          // the point's sequence number, so an ordered merge reproduces
+          // the serial stream byte-for-byte whatever the schedule was.
           std::string block;
           std::uint64_t block_episodes = 0;
-          if (config.trace_sink != nullptr) {
+          if (want_trace) {
             TraceEpisodeInfo info;
-            info.scenario_digest = digests[i];
+            info.scenario_digest = plan.digests[i];
             info.point_index = static_cast<std::uint32_t>(i);
-            info.label = points[i].label();
+            info.label = plan.points[i].label();
             experiment.trace_tap = [&block, &block_episodes, info,
                                     &experiment](
                                        std::uint64_t seed,
@@ -229,14 +263,41 @@ std::vector<SweepRow> run_sweep(const SweepConfig& config) {
               ++block_episodes;
             };
           }
-          rows[i].point = points[i];
-          rows[i].scenario = experiment.scenario;
-          rows[i].result = run_experiment(experiment);
-          if (config.trace_sink != nullptr)
-            config.trace_sink->commit(i, std::move(block), block_episodes);
+          SweepRow row;
+          row.point = plan.points[i];
+          row.scenario = experiment.scenario;
+          row.result = run_experiment(experiment);
+          emit(i, std::move(row), std::move(block), block_episodes);
         }
       });
+}
+
+std::vector<SweepRow> run_sweep_shard(const SweepConfig& config,
+                                      std::size_t shard, std::size_t shards) {
+  const SweepPlan plan = plan_sweep(config);
+  const std::vector<std::size_t> owned = plan.shard_points(shard, shards);
+  if (config.trace_sink != nullptr)
+    config.trace_sink->set_run_digest(plan.run_digest);
+  std::vector<SweepRow> rows(owned.size());
+  execute_sweep_points(
+      config, plan, owned, config.trace_sink != nullptr,
+      [&](std::size_t index, SweepRow&& row, std::string&& block,
+          std::uint64_t episodes) {
+        // Local rank = the point's position among the owned indices.  For
+        // the unsharded case that is the grid index itself; for a shard it
+        // yields dense sink sequences whose flush order is ascending grid
+        // index — the sorted-stream property trace-merge requires.
+        const auto it = std::lower_bound(owned.begin(), owned.end(), index);
+        const auto local = static_cast<std::size_t>(it - owned.begin());
+        rows[local] = std::move(row);
+        if (config.trace_sink != nullptr)
+          config.trace_sink->commit(local, std::move(block), episodes);
+      });
   return rows;
+}
+
+std::vector<SweepRow> run_sweep(const SweepConfig& config) {
+  return run_sweep_shard(config, 0, 1);
 }
 
 }  // namespace seo

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,9 +93,67 @@ std::vector<SweepPoint> expand_grid(const SweepConfig& config);
 ScenarioConfig resolve_point(const SweepConfig& config,
                              const SweepPoint& point);
 
+/// Everything deterministic about a sweep before any episode runs: the
+/// expanded grid, each point's resolved scenario and deadline-table digest,
+/// the digest-grouped execution schedule, and the run digest (every point's
+/// table digest mixed in grid order — the identity shards and trace merges
+/// key on).  A plan is a pure function of the config, so every process
+/// given the same config — the parent, each `--workers` child, a `--shard`
+/// run on another host — computes the identical plan independently.
+struct SweepPlan {
+  std::vector<SweepPoint> points;        ///< grid order
+  std::vector<ScenarioConfig> resolved;  ///< per point (overrides applied)
+  std::vector<std::uint64_t> digests;    ///< per point scenario_table_digest
+  /// Execution schedule: (digest-group rank, grid index), sorted — points
+  /// sharing a table digest are adjacent so each geometry class builds once
+  /// and its siblings hit warm.
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  std::uint64_t run_digest = 0;
+
+  /// The grid indices shard `shard` of `shards` owns: its contiguous slice
+  /// of the digest-grouped schedule (so a shard keeps whole geometry
+  /// classes and stays cache-warm), returned sorted ascending.  Every index
+  /// lands in exactly one shard; trailing shards may be empty when
+  /// shards > points.
+  std::vector<std::size_t> shard_points(std::size_t shard,
+                                        std::size_t shards) const;
+};
+
+/// Expands and schedules `config` (see SweepPlan).  Throws exactly where
+/// expand_grid does.
+SweepPlan plan_sweep(const SweepConfig& config);
+
+/// Per-completed-point callback of execute_sweep_points: the grid index,
+/// the finished row, and — when tracing was requested — the point's
+/// serialized trace block with its episode count.  Invoked concurrently
+/// from pool threads; the callee synchronizes.
+using SweepEmit = std::function<void(
+    std::size_t index, SweepRow&& row, std::string&& trace_block,
+    std::uint64_t trace_episodes)>;
+
+/// Runs the `owned` subset (ascending grid indices) of a planned sweep in
+/// digest-grouped order and hands each finished point to `emit`.  The
+/// execution core under run_sweep, run_sweep_shard, and the --workers
+/// pipe workers — one body, so every mode computes bit-identical rows and
+/// trace bytes.  `config.trace_sink` is ignored here; trace blocks are
+/// produced iff `want_trace` and routed by the caller.
+void execute_sweep_points(const SweepConfig& config, const SweepPlan& plan,
+                          const std::vector<std::size_t>& owned,
+                          bool want_trace, const SweepEmit& emit);
+
 /// Runs every grid point and returns rows in grid order.  Deterministic
 /// for a fixed config, independent of `config.threads`.
 std::vector<SweepRow> run_sweep(const SweepConfig& config);
+
+/// Runs shard `shard` of `shards` (the plan's slice for that shard) and
+/// returns its rows ordered by ascending grid index.  With a trace sink
+/// attached, blocks commit under local dense sequence numbers (the point's
+/// rank within the shard), so the shard's stream is itself a valid
+/// seo-trace stream sorted by grid-point index with the full run's
+/// run_digest in the header — exactly what trace-merge k-way-merges back
+/// into the unsharded byte stream.  shard=0, shards=1 is run_sweep.
+std::vector<SweepRow> run_sweep_shard(const SweepConfig& config,
+                                      std::size_t shard, std::size_t shards);
 
 /// The CI smoke grid: 4 library scenarios x (2 channel scales x 2 deadline
 /// caps) on a shortened route — 16 points that finish in seconds.  Shared

@@ -67,46 +67,75 @@ std::vector<double> sweep_metrics(const SweepRow& row) {
   };
 }
 
+std::vector<std::vector<double>> sweep_metric_rows(
+    const std::vector<SweepRow>& rows) {
+  std::vector<std::vector<double>> metrics;
+  metrics.reserve(rows.size());
+  for (const auto& row : rows) metrics.push_back(sweep_metrics(row));
+  return metrics;
+}
+
+namespace {
+
+std::vector<SweepPoint> report_points(const std::vector<SweepRow>& rows) {
+  std::vector<SweepPoint> points;
+  points.reserve(rows.size());
+  for (const auto& row : rows) points.push_back(row.point);
+  return points;
+}
+
+}  // namespace
+
 std::string sweep_csv(const SweepConfig& config,
-                      const std::vector<SweepRow>& rows) {
+                      const std::vector<SweepPoint>& points,
+                      const std::vector<std::vector<double>>& metrics) {
+  SEO_ASSERT(points.size() == metrics.size());
   std::string out = "scenario";
   for (const auto& axis : config.axes) out += "," + axis.key;
   for (const auto& name : sweep_metric_names()) out += "," + name;
   out += "\n";
 
-  for (const auto& row : rows) {
-    out += row.point.scenario;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& point = points[i];
+    out += point.scenario;
     // Axis values in config.axes order — assignment order matches for both
     // cartesian and paired expansion.
-    SEO_ASSERT(row.point.assignment.size() == config.axes.size());
+    SEO_ASSERT(point.assignment.size() == config.axes.size());
     for (std::size_t a = 0; a < config.axes.size(); ++a) {
-      SEO_ASSERT(row.point.assignment[a].first == config.axes[a].key);
-      out += "," + row.point.assignment[a].second;
+      SEO_ASSERT(point.assignment[a].first == config.axes[a].key);
+      out += "," + point.assignment[a].second;
     }
-    for (const double v : sweep_metrics(row)) out += "," + report_fmt(v);
+    for (const double v : metrics[i]) out += "," + report_fmt(v);
     out += "\n";
   }
   return out;
 }
 
+std::string sweep_csv(const SweepConfig& config,
+                      const std::vector<SweepRow>& rows) {
+  return sweep_csv(config, report_points(rows), sweep_metric_rows(rows));
+}
+
 std::string sweep_json(const SweepConfig& config,
-                       const std::vector<SweepRow>& rows) {
+                       const std::vector<SweepPoint>& points,
+                       const std::vector<std::vector<double>>& metrics) {
+  SEO_ASSERT(points.size() == metrics.size());
   std::ostringstream out;
   out << "{\n  \"sweep\": {\n"
       << "    \"episodes\": " << config.episodes << ",\n"
       << "    \"base_seed\": " << config.base_seed << ",\n"
       << "    \"grid\": \""
       << (config.grid == GridMode::kCartesian ? "cartesian" : "paired")
-      << "\",\n    \"points\": " << rows.size() << "\n  },\n"
+      << "\",\n    \"points\": " << points.size() << "\n  },\n"
       << "  \"rows\": {";
-  const auto metrics = sweep_metric_names();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto values = sweep_metrics(rows[i]);
+  const auto names = sweep_metric_names();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SEO_ASSERT(metrics[i].size() == names.size());
     out << (i == 0 ? "\n" : ",\n");
-    out << "    \"" << report_json_escape(rows[i].point.label()) << "\": {\n";
-    for (std::size_t m = 0; m < metrics.size(); ++m) {
-      out << "      \"" << metrics[m] << "\": " << report_fmt(values[m])
-          << (m + 1 < metrics.size() ? "," : "") << "\n";
+    out << "    \"" << report_json_escape(points[i].label()) << "\": {\n";
+    for (std::size_t m = 0; m < names.size(); ++m) {
+      out << "      \"" << names[m] << "\": " << report_fmt(metrics[i][m])
+          << (m + 1 < names.size() ? "," : "") << "\n";
     }
     out << "    }";
   }
@@ -114,17 +143,30 @@ std::string sweep_json(const SweepConfig& config,
   return out.str();
 }
 
+std::string sweep_json(const SweepConfig& config,
+                       const std::vector<SweepRow>& rows) {
+  return sweep_json(config, report_points(rows), sweep_metric_rows(rows));
+}
+
 void write_sweep_report(std::ostream& out, const std::string& format,
                         const SweepConfig& config,
-                        const std::vector<SweepRow>& rows) {
+                        const std::vector<SweepPoint>& points,
+                        const std::vector<std::vector<double>>& metrics) {
   if (format == "csv") {
-    out << sweep_csv(config, rows);
+    out << sweep_csv(config, points, metrics);
   } else if (format == "json") {
-    out << sweep_json(config, rows);
+    out << sweep_json(config, points, metrics);
   } else {
     throw ContractViolation("unknown sweep report format: " + format +
                             " (csv|json)");
   }
+}
+
+void write_sweep_report(std::ostream& out, const std::string& format,
+                        const SweepConfig& config,
+                        const std::vector<SweepRow>& rows) {
+  write_sweep_report(out, format, config, report_points(rows),
+                     sweep_metric_rows(rows));
 }
 
 }  // namespace seo

@@ -1,0 +1,416 @@
+#include "sim/sweep_shard.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "core/binary_io.hpp"
+#include "sim/sweep_report.hpp"
+#include "sim/trace.hpp"
+#include "util/expect.hpp"
+
+namespace seo {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Full write with EINTR/short-write handling — frames must land whole.
+void write_frame_bytes(int fd, const std::string& frame) {
+  const char* data = frame.data();
+  std::size_t size = frame.size();
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("sweep shard pipe write failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+int run_sweep_worker(const SweepConfig& config, std::size_t shard,
+                     std::size_t shards, bool want_trace, int fd) {
+  const SweepPlan plan = plan_sweep(config);
+  const std::vector<std::size_t> owned = plan.shard_points(shard, shards);
+
+  {
+    std::string payload;
+    BinaryWriter w(payload);
+    w.u16(kSweepShardProtocolVersion);
+    w.u32(static_cast<std::uint32_t>(shard));
+    w.u32(static_cast<std::uint32_t>(shards));
+    w.u64(plan.run_digest);
+    w.u64(plan.points.size());
+    w.u64(owned.size());
+    std::string frame;
+    append_frame(frame, static_cast<std::uint8_t>(SweepShardFrame::kHello),
+                 payload);
+    write_frame_bytes(fd, frame);
+  }
+
+  std::mutex pipe_mutex;
+  std::uint64_t emitted = 0;
+  execute_sweep_points(
+      config, plan, owned, want_trace,
+      [&](std::size_t index, SweepRow&& row, std::string&& block,
+          std::uint64_t episodes) {
+        const std::vector<double> metrics = sweep_metrics(row);
+        std::string payload;
+        payload.reserve(8 + 4 + metrics.size() * 8 + 8 + 1 + block.size());
+        BinaryWriter w(payload);
+        w.u64(index);
+        w.u32(static_cast<std::uint32_t>(metrics.size()));
+        for (const double m : metrics) w.f64(m);
+        w.u64(episodes);
+        w.u8(want_trace ? 1 : 0);
+        w.bytes(block.data(), block.size());
+        std::string frame;
+        append_frame(frame, static_cast<std::uint8_t>(SweepShardFrame::kPoint),
+                     payload);
+        // One lock per point: pool threads emit concurrently and a frame
+        // interleaved with another would corrupt the stream.
+        const std::lock_guard<std::mutex> lock(pipe_mutex);
+        write_frame_bytes(fd, frame);
+        ++emitted;
+      });
+
+  {
+    std::string payload;
+    BinaryWriter w(payload);
+    w.u64(emitted);
+    const std::vector<ArtifactKindStats> kinds =
+        ArtifactStoreRegistry::global().snapshot();
+    w.u32(static_cast<std::uint32_t>(kinds.size()));
+    for (const auto& row : kinds) {
+      w.str(row.kind);
+      const ArtifactStoreStats& s = row.stats;
+      w.u64(s.hits);
+      w.u64(s.fast_hits);
+      w.u64(s.misses);
+      w.u64(s.builds);
+      w.u64(s.waits);
+      w.u64(s.lock_waits);
+      w.u64(s.evictions);
+      w.u64(s.bytes);
+      w.u64(s.disk_loads);
+      w.u64(s.disk_stores);
+      w.u64(s.disk_failures);
+    }
+    std::string frame;
+    append_frame(frame, static_cast<std::uint8_t>(SweepShardFrame::kDone),
+                 payload);
+    write_frame_bytes(fd, frame);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------------
+
+std::string sweep_self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  return argv0 != nullptr ? std::string(argv0) : std::string();
+}
+
+namespace {
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int fd = -1;  ///< read end of the worker's frame pipe
+  FrameAssembler frames;
+  bool hello = false;
+  bool done = false;
+  std::string name;  ///< "sweep worker 2/8" for diagnostics
+};
+
+/// Kills and reaps whatever the merge loop left behind — an exception must
+/// never strand live children or leak pipe fds.  After a clean run every
+/// fd is closed and every pid reaped, and this is a no-op.
+struct FleetGuard {
+  std::vector<WorkerProc>& fleet;
+  ~FleetGuard() {
+    for (WorkerProc& w : fleet) {
+      if (w.fd >= 0) ::close(w.fd);
+      if (w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        ::waitpid(w.pid, nullptr, 0);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SweepWorkersResult run_sweep_workers(
+    const SweepPlan& plan, const std::string& exe,
+    const std::vector<std::string>& worker_args, std::size_t workers,
+    OrderedTraceSink* trace_sink) {
+  SEO_EXPECT(workers >= 1);
+  SEO_EXPECT(!exe.empty());
+  const std::size_t n = plan.points.size();
+  const std::size_t metric_count = sweep_metric_names().size();
+  if (trace_sink != nullptr) trace_sink->set_run_digest(plan.run_digest);
+
+  std::vector<WorkerProc> fleet(workers);
+  FleetGuard guard{fleet};
+
+  for (std::size_t i = 0; i < workers; ++i) {
+    WorkerProc& w = fleet[i];
+    w.name = "sweep worker " + std::to_string(i) + "/" +
+             std::to_string(workers);
+
+    // argv assembled before fork: the child must only dup/close/exec.
+    std::vector<std::string> args;
+    args.reserve(worker_args.size() + 5);
+    args.push_back(exe);
+    for (const std::string& a : worker_args) args.push_back(a);
+    args.push_back("--shard");
+    args.push_back(std::to_string(i) + "/" + std::to_string(workers));
+    args.push_back("--shard-pipe");
+    if (trace_sink != nullptr) args.push_back("--shard-trace");
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    int fds[2];
+    if (::pipe(fds) != 0) throw_errno("pipe() failed spawning " + w.name);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw_errno("fork() failed spawning " + w.name);
+    }
+    if (pid == 0) {
+      // Child: frames go out on stdout; stderr stays shared so worker
+      // diagnostics reach the operator unmixed with the binary stream.
+      ::close(fds[0]);
+      if (::dup2(fds[1], STDOUT_FILENO) < 0) ::_exit(127);
+      ::close(fds[1]);
+      ::execv(exe.c_str(), argv.data());
+      ::_exit(127);  // exec failed; 127 matches the shell convention
+    }
+    ::close(fds[1]);  // the write end lives only in the child
+    w.pid = pid;
+    w.fd = fds[0];
+  }
+
+  SweepWorkersResult result;
+  result.metrics.assign(n, {});
+  std::vector<char> seen(n, 0);
+  std::size_t seen_count = 0;
+  std::map<std::string, ArtifactStoreStats> farm_stats;
+
+  const auto handle_frame = [&](WorkerProc& w, std::size_t slot,
+                                std::uint8_t type,
+                                const std::string& payload) {
+    BinaryReader r{std::string_view(payload)};
+    switch (static_cast<SweepShardFrame>(type)) {
+      case SweepShardFrame::kHello: {
+        const std::uint16_t version = r.u16();
+        if (version != kSweepShardProtocolVersion)
+          throw std::runtime_error(
+              w.name + " speaks shard protocol version " +
+              std::to_string(version) + ", parent speaks " +
+              std::to_string(kSweepShardProtocolVersion));
+        const std::uint32_t shard = r.u32();
+        const std::uint32_t shards = r.u32();
+        const std::uint64_t run_digest = r.u64();
+        const std::uint64_t points = r.u64();
+        const std::uint64_t owned = r.u64();
+        r.require_exhausted("sweep shard hello frame");
+        if (shard != slot || shards != workers)
+          throw std::runtime_error(
+              w.name + " announced shard " + std::to_string(shard) + "/" +
+              std::to_string(shards) + " instead of its assignment");
+        if (run_digest != plan.run_digest || points != n)
+          throw std::runtime_error(
+              w.name +
+              " planned a different sweep (run digest or grid size "
+              "mismatch) — parent and worker configs drifted");
+        if (owned != plan.shard_points(slot, workers).size())
+          throw std::runtime_error(w.name +
+                                   " claims a different shard slice than "
+                                   "the parent's plan assigns it");
+        w.hello = true;
+        break;
+      }
+      case SweepShardFrame::kPoint: {
+        if (!w.hello || w.done)
+          throw std::runtime_error(w.name +
+                                   " sent a point frame outside the "
+                                   "hello..done window");
+        const std::uint64_t index = r.u64();
+        if (index >= n)
+          throw std::runtime_error(w.name + " reported grid point " +
+                                   std::to_string(index) +
+                                   " beyond the grid");
+        const std::uint32_t count = r.u32();
+        if (count != metric_count)
+          throw std::runtime_error(
+              w.name + " sent " + std::to_string(count) +
+              " metrics per point, parent expects " +
+              std::to_string(metric_count));
+        std::vector<double> metrics(count);
+        for (double& m : metrics) m = r.f64();
+        const std::uint64_t episodes = r.u64();
+        const bool has_trace = r.u8() != 0;
+        std::string block(r.view(r.remaining()));
+        if (seen[index] != 0)
+          throw std::runtime_error("grid point " + std::to_string(index) +
+                                   " was reported by two workers — "
+                                   "overlapping shards");
+        seen[index] = 1;
+        ++seen_count;
+        result.metrics[index] = std::move(metrics);
+        if (trace_sink != nullptr) {
+          if (!has_trace)
+            throw std::runtime_error(w.name +
+                                     " sent no trace block while tracing "
+                                     "is enabled");
+          // Global grid index as the sink sequence: the ordered flush
+          // reproduces the unsharded stream whatever order workers finish.
+          trace_sink->commit(index, std::move(block), episodes);
+        }
+        break;
+      }
+      case SweepShardFrame::kDone: {
+        if (!w.hello || w.done)
+          throw std::runtime_error(w.name + " sent a duplicate done frame");
+        const std::uint64_t emitted = r.u64();
+        if (emitted != plan.shard_points(slot, workers).size())
+          throw std::runtime_error(
+              w.name + " finished after emitting " +
+              std::to_string(emitted) + " of its points");
+        const std::uint32_t kinds = r.u32();
+        for (std::uint32_t k = 0; k < kinds; ++k) {
+          const std::string kind = r.str();
+          ArtifactStoreStats& s = farm_stats[kind];
+          s.hits += r.u64();
+          s.fast_hits += r.u64();
+          s.misses += r.u64();
+          s.builds += r.u64();
+          s.waits += r.u64();
+          s.lock_waits += r.u64();
+          s.evictions += r.u64();
+          s.bytes += r.u64();
+          s.disk_loads += r.u64();
+          s.disk_stores += r.u64();
+          s.disk_failures += r.u64();
+        }
+        r.require_exhausted("sweep shard done frame");
+        w.done = true;
+        break;
+      }
+      default:
+        throw std::runtime_error(w.name + " sent unknown frame type " +
+                                 std::to_string(type));
+    }
+  };
+
+  // Single-threaded merge: poll() across every worker pipe, feed each
+  // worker's FrameAssembler, dispatch completed frames.  No reader
+  // threads — the parent's trace sink and metric slots need no locking
+  // beyond the sink's own.
+  std::vector<char> buf(std::size_t{1} << 16);
+  std::size_t open = workers;
+  while (open > 0) {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> slots;
+    pfds.reserve(open);
+    slots.reserve(open);
+    for (std::size_t i = 0; i < workers; ++i) {
+      if (fleet[i].fd < 0) continue;
+      pfds.push_back(pollfd{fleet[i].fd, POLLIN, 0});
+      slots.push_back(i);
+    }
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll() over sweep worker pipes failed");
+    }
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      if ((pfds[p].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      WorkerProc& w = fleet[slots[p]];
+      const ssize_t got = ::read(w.fd, buf.data(), buf.size());
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("read() from " + w.name + " failed");
+      }
+      if (got == 0) {
+        ::close(w.fd);
+        w.fd = -1;
+        --open;
+        // EOF is only legal after a complete done frame: anything else is
+        // a crashed or truncated worker and must fail the whole sweep.
+        if (!w.done)
+          throw std::runtime_error(
+              w.name + " closed its pipe before its done frame — the "
+                       "worker crashed mid-shard");
+        if (!w.frames.idle())
+          throw std::runtime_error(
+              w.name + " left " + std::to_string(w.frames.buffered()) +
+              " bytes of a truncated frame behind its done frame");
+        continue;
+      }
+      try {
+        w.frames.feed(buf.data(), static_cast<std::size_t>(got));
+        std::uint8_t type = 0;
+        std::string payload;
+        while (w.frames.next(type, payload))
+          handle_frame(w, slots[p], type, payload);
+      } catch (const BinaryIoError& e) {
+        throw std::runtime_error(w.name + " sent a corrupt frame: " +
+                                 e.what());
+      }
+    }
+  }
+
+  for (WorkerProc& w : fleet) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(w.pid, &status, 0);
+    if (reaped != w.pid) throw_errno("waitpid(" + w.name + ") failed");
+    w.pid = -1;
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+      throw std::runtime_error(
+          w.name + (WIFSIGNALED(status)
+                        ? " was killed by signal " +
+                              std::to_string(WTERMSIG(status))
+                        : " exited with status " +
+                              std::to_string(WEXITSTATUS(status))));
+  }
+
+  if (seen_count != n)
+    throw std::runtime_error("sweep workers reported only " +
+                             std::to_string(seen_count) + " of " +
+                             std::to_string(n) + " grid points");
+
+  result.stats.reserve(farm_stats.size());
+  for (auto& [kind, stats] : farm_stats)
+    result.stats.push_back(ArtifactKindStats{kind, stats});
+  return result;
+}
+
+}  // namespace seo

@@ -1,0 +1,86 @@
+// Multi-process sweep execution: `sweep --workers N` forks N self-exec
+// worker processes, each running one digest-grouped shard of the grid
+// (SweepPlan::shard_points) and streaming results back over a pipe; the
+// parent merges them into the same report and trace bytes an in-process
+// run produces.
+//
+// ## Worker → parent wire protocol (version 1)
+//
+// One pipe per worker, carrying binary_io frames (append_frame /
+// FrameAssembler: u8 type | u64 size | payload | u64 FNV-1a checksum).
+// Frame payloads, little-endian fixed width throughout:
+//
+//   1 hello   u16 protocol version | u32 shard | u32 shards
+//             | u64 run_digest | u64 grid points | u64 owned points
+//             — sent first; the parent cross-checks its own plan, so a
+//             config-drifted worker is rejected before any result lands.
+//   2 point   u64 grid index | u32 metric count | f64 metrics (raw IEEE
+//             bits, sweep_metric_names order) | u64 trace episodes
+//             | u8 has_trace | trace block bytes (rest of payload)
+//             — one per completed grid point, in completion order.
+//   3 done    u64 points emitted | u32 kinds | per kind: str kind name +
+//             the 11 u64 ArtifactStoreStats fields
+//             — the shard's artifact-store stats, summed by the parent so
+//             `--stats` reports the whole farm.  EOF *without* a done
+//             frame is how a crashed worker is detected and rejected.
+//
+// Metrics travel as raw double bits and trace blocks as the exact
+// append_trace_episode bytes, so the parent's merged report and
+// OrderedTraceSink output are bit-identical to `--workers 1` by
+// construction — there is no re-encode step that could drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/artifact_store.hpp"
+#include "sim/sweep.hpp"
+
+namespace seo {
+
+inline constexpr std::uint16_t kSweepShardProtocolVersion = 1;
+
+/// Frame types on the worker→parent pipe.
+enum class SweepShardFrame : std::uint8_t {
+  kHello = 1,
+  kPoint = 2,
+  kDone = 3,
+};
+
+/// Worker side (`sweep --shard i/N --shard-pipe`): plans the sweep, runs
+/// shard `shard` of `shards`, and streams hello / point* / done frames to
+/// `fd`.  `want_trace` embeds each point's serialized trace block in its
+/// point frame.  Returns the process exit code (0 on success).
+int run_sweep_worker(const SweepConfig& config, std::size_t shard,
+                     std::size_t shards, bool want_trace, int fd);
+
+/// What the parent assembled from a worker farm.
+struct SweepWorkersResult {
+  /// Per grid point, in grid order: the shard's sweep_metrics values,
+  /// bit-exact as the worker computed them.
+  std::vector<std::vector<double>> metrics;
+  /// Artifact-store stats summed across every worker, sorted by kind —
+  /// the farm-wide view `--stats` and the CI built-exactly-once assertion
+  /// read.
+  std::vector<ArtifactKindStats> stats;
+};
+
+/// Parent side: spawns `workers` processes running `exe` with
+/// `worker_args` plus the hidden shard flags, one pipe each, and merges
+/// their frame streams — metrics into grid-order slots, trace blocks into
+/// `trace_sink` under global grid indices (the sink's ordered flush then
+/// reproduces the unsharded stream byte-for-byte).  Validates every hello
+/// against `plan`, requires every grid point exactly once, and throws
+/// std::runtime_error on a worker crash (EOF before done, mid-frame
+/// truncation, nonzero exit) — a dead shard is loud, never a silent hole.
+SweepWorkersResult run_sweep_workers(
+    const SweepPlan& plan, const std::string& exe,
+    const std::vector<std::string>& worker_args, std::size_t workers,
+    OrderedTraceSink* trace_sink);
+
+/// The running binary's path (/proc/self/exe, falling back to `argv0`) —
+/// what the parent self-execs workers with.
+std::string sweep_self_exe(const char* argv0);
+
+}  // namespace seo

@@ -499,6 +499,120 @@ bool TraceStreamReader::next(TraceRecord& record) {
 }
 
 // ---------------------------------------------------------------------------
+// TraceEpisodeScanner / merge_trace_streams
+// ---------------------------------------------------------------------------
+
+// The scanner is TraceStreamReader plus a tee into a private buffer: every
+// episode is fully decoded and validated (checksums, nesting, counts), and
+// the tee captures the exact wire bytes so the merge re-emits them
+// untouched — re-encoding could never drift, because there is none.
+struct TraceEpisodeScanner::Impl {
+  std::ostringstream tee;
+  TraceStreamReader reader;
+
+  explicit Impl(std::istream& in) : reader(in, &tee) {
+    // The constructor tee'd the 28-byte header; the merge writes its own.
+    tee.str(std::string());
+  }
+};
+
+TraceEpisodeScanner::TraceEpisodeScanner(std::istream& in)
+    : impl_(std::make_unique<Impl>(in)) {}
+
+TraceEpisodeScanner::~TraceEpisodeScanner() = default;
+
+std::uint64_t TraceEpisodeScanner::run_digest() const {
+  return impl_->reader.run_digest();
+}
+
+std::uint64_t TraceEpisodeScanner::episodes_total() const {
+  return impl_->reader.episodes_total();
+}
+
+bool TraceEpisodeScanner::next(std::uint32_t& point_index,
+                               std::string& bytes) {
+  TraceRecord record;
+  if (!impl_->reader.next(record)) return false;  // verified stream-end
+  // The reader enforces nesting, so the first record of a fresh episode is
+  // always episode-begin and a stream that ends mid-episode throws there.
+  SEO_ASSERT(record.type == TraceRecord::Type::kEpisodeBegin);
+  point_index = record.episode.point_index;
+  while (impl_->reader.next(record))
+    if (record.type == TraceRecord::Type::kEpisodeEnd) break;
+  bytes = impl_->tee.str();
+  impl_->tee.str(std::string());
+  return true;
+}
+
+void merge_trace_streams(const std::vector<std::istream*>& inputs,
+                         std::ostream& out) {
+  SEO_EXPECT(!inputs.empty());
+  struct Source {
+    std::unique_ptr<TraceEpisodeScanner> scanner;
+    std::uint32_t point = 0;
+    std::string bytes;
+    bool live = false;
+  };
+
+  std::vector<Source> sources(inputs.size());
+  std::uint64_t run_digest = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    Source& src = sources[i];
+    src.scanner = std::make_unique<TraceEpisodeScanner>(*inputs[i]);
+    if (i == 0) {
+      run_digest = src.scanner->run_digest();
+    } else if (src.scanner->run_digest() != run_digest) {
+      throw ContractViolation(
+          "trace-merge: input " + std::to_string(i) + " has run_digest " +
+          fingerprint_hex(src.scanner->run_digest()) +
+          " but input 0 has " + fingerprint_hex(run_digest) +
+          " — shards of different runs cannot merge");
+    }
+    src.live = src.scanner->next(src.point, src.bytes);
+  }
+
+  std::string header;
+  append_header(header, run_digest);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  // Streaming k-way merge on the grid-point index.  Each input is already
+  // ascending (the order --shard writes), so the head episodes alone
+  // determine the global order; one episode is buffered per input.
+  std::uint64_t episodes = 0;
+  while (true) {
+    Source* best = nullptr;
+    for (Source& src : sources) {
+      if (!src.live) continue;
+      if (best == nullptr || src.point < best->point) {
+        best = &src;
+      } else if (src.point == best->point) {
+        throw ContractViolation(
+            "trace-merge: grid point " + std::to_string(src.point) +
+            " appears in more than one input — overlapping shards");
+      }
+    }
+    if (best == nullptr) break;
+    out.write(best->bytes.data(),
+              static_cast<std::streamsize>(best->bytes.size()));
+    ++episodes;
+    const std::uint32_t prev = best->point;
+    best->live = best->scanner->next(best->point, best->bytes);
+    if (best->live && best->point < prev)
+      throw ContractViolation(
+          "trace-merge: input episodes out of grid order (point " +
+          std::to_string(best->point) + " after " + std::to_string(prev) +
+          ") — not a --shard-produced stream");
+  }
+
+  std::string tail;
+  std::string payload;
+  BinaryWriter(payload).u64(episodes);
+  append_record(tail, kRecStreamEnd, payload);
+  out.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+  out.flush();
+}
+
+// ---------------------------------------------------------------------------
 // OrderedTraceSink
 // ---------------------------------------------------------------------------
 

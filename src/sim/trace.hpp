@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -287,6 +288,45 @@ class TraceStreamReader {
 void append_trace_episode(std::string& block, const TraceEpisodeInfo& info,
                           const TraceEpisodeSummary& summary,
                           const EpisodeTrace& trace);
+
+/// Streaming scanner yielding whole validated episodes as raw byte spans
+/// (exactly the bytes between episode-begin and episode-end inclusive)
+/// plus the grid-point index stamped in episode-begin — the unit
+/// trace-merge reorders.  Validation is TraceStreamReader's in full:
+/// checksums, nesting, counts, the terminal stream-end; a shard file that
+/// lost its tail is rejected, never half-merged.
+class TraceEpisodeScanner {
+ public:
+  explicit TraceEpisodeScanner(std::istream& in);
+  ~TraceEpisodeScanner();
+
+  std::uint64_t run_digest() const;
+
+  /// Reads the next episode; false at the verified stream-end.  On true,
+  /// `point_index` is the grid index from episode-begin and `bytes` holds
+  /// the episode's exact wire bytes.
+  bool next(std::uint32_t& point_index, std::string& bytes);
+
+  /// Episodes claimed by stream-end (valid once next() returned false).
+  std::uint64_t episodes_total() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Deterministically k-way-merges shard trace streams into one stream on
+/// `out` that is byte-identical to the unsharded run's: the header carries
+/// the common run_digest, episodes are emitted in ascending grid-point
+/// order (each point's episodes stay in their shard's order), and the
+/// stream-end counts the union.  Every input must already be ascending by
+/// point index — the order `sweep --shard i/N --trace-out` writes.  Throws
+/// ContractViolation when inputs disagree on run_digest (different grids
+/// cannot merge), when a point index appears in more than one input, or
+/// when an input is not sorted; TraceStreamError surfaces unchanged from a
+/// damaged input.
+void merge_trace_streams(const std::vector<std::istream*>& inputs,
+                         std::ostream& out);
 
 /// Thread-safe ordered merge of episode blocks onto one stream — how a
 /// parallel sweep/fleet writes a deterministic trace.  Producers serialize

@@ -1,0 +1,343 @@
+// Distributed-sweep tests: the shard planner's partition algebra, the
+// pipe frame discipline, shard execution / trace merge byte-identity
+// against the unsharded run, and the worker-farm failure taxonomy (a dead
+// or babbling worker must fail the sweep loudly, never leave a silent
+// hole).  The end-to-end `sweep --workers N` byte-identity matrix drives
+// the real CLI binary when CMake baked its path in (SEO_SWEEP_TOOL).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/binary_io.hpp"
+#include "sim/sweep.hpp"
+#include "sim/sweep_report.hpp"
+#include "sim/sweep_shard.hpp"
+#include "sim/trace.hpp"
+#include "util/expect.hpp"
+
+namespace seo {
+namespace {
+
+// A 4-point grid over small tables — big enough to shard meaningfully,
+// small enough that the multi-run identity tests stay fast.
+SweepConfig tiny_sweep() {
+  SweepConfig config;
+  config.scenarios = {"paper_default"};
+  config.axes = {{"channel_mbps", {"8", "12", "16", "20"}}};
+  config.base_overrides = {{"road_length", "45"},
+                           {"max_episode_s", "12"},
+                           {"table_distance_bins", "15"},
+                           {"table_bearing_bins", "9"},
+                           {"table_speed_bins", "9"}};
+  config.episodes = 2;
+  config.max_attempts = 8;
+  config.require_success = false;
+  return config;
+}
+
+// The tiny_sweep() config expressed as sweep CLI flags — the two must
+// resolve to the identical plan (the hello handshake's run_digest check
+// fails the farm tests if they ever drift).
+std::vector<std::string> tiny_sweep_args() {
+  return {"--scenarios", "paper_default",
+          "--axis",      "channel_mbps=8,12,16,20",
+          "--set",       "road_length=45",
+          "--set",       "max_episode_s=12",
+          "--set",       "table_distance_bins=15",
+          "--set",       "table_bearing_bins=9",
+          "--set",       "table_speed_bins=9",
+          "--episodes",  "2",
+          "--max-attempts", "8",
+          "--allow-failures"};
+}
+
+// --- Shard planner ----------------------------------------------------------
+
+TEST(SweepPlan, ShardPointsPartitionTheGrid) {
+  const SweepPlan plan = plan_sweep(smoke_sweep());
+  const std::size_t n = plan.points.size();
+  ASSERT_GE(n, 12u);
+  for (const std::size_t shards : {1u, 2u, 3u, 5u, 16u, 32u}) {
+    std::vector<std::size_t> all;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      const auto owned = plan.shard_points(shard, shards);
+      EXPECT_TRUE(std::is_sorted(owned.begin(), owned.end()))
+          << "shard " << shard << "/" << shards << " not ascending";
+      all.insert(all.end(), owned.begin(), owned.end());
+    }
+    // Every grid index in exactly one shard — no holes, no overlap.
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), n) << "shards=" << shards;
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(all[i], i) << "shards=" << shards;
+  }
+}
+
+TEST(SweepPlan, ShardsAreContiguousSlicesOfTheSchedule) {
+  // A shard owns a contiguous run of the digest-grouped schedule, so whole
+  // geometry classes stay together and each worker's table cache is warm.
+  const SweepPlan plan = plan_sweep(smoke_sweep());
+  const std::size_t n = plan.order.size();
+  const std::size_t shards = 3;
+  const std::size_t grain = (n + shards - 1) / shards;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const std::size_t lo = std::min(n, shard * grain);
+    const std::size_t hi = std::min(n, lo + grain);
+    std::vector<std::size_t> expected;
+    for (std::size_t at = lo; at < hi; ++at)
+      expected.push_back(plan.order[at].second);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(plan.shard_points(shard, shards), expected);
+  }
+}
+
+TEST(SweepPlan, PlanIsAPureFunctionOfTheConfig) {
+  const SweepPlan a = plan_sweep(tiny_sweep());
+  const SweepPlan b = plan_sweep(tiny_sweep());
+  EXPECT_NE(a.run_digest, 0u);
+  EXPECT_EQ(a.run_digest, b.run_digest);
+  EXPECT_EQ(a.order, b.order);
+  // A different grid is a different run identity.
+  SweepConfig other = tiny_sweep();
+  other.axes[0].values = {"8", "12", "16"};
+  EXPECT_NE(plan_sweep(other).run_digest, a.run_digest);
+}
+
+// --- Pipe frame discipline --------------------------------------------------
+
+TEST(FrameAssembler, ReassemblesFramesFedByteByByte) {
+  std::string wire;
+  append_frame(wire, 1, "hello");
+  append_frame(wire, 2, std::string("\0\x7f payload", 10));
+  append_frame(wire, 3, "");
+  FrameAssembler frames;
+  std::vector<std::pair<std::uint8_t, std::string>> out;
+  std::uint8_t type = 0;
+  std::string payload;
+  for (const char byte : wire) {
+    frames.feed(&byte, 1);  // worst-case read(2): one byte at a time
+    while (frames.next(type, payload)) out.emplace_back(type, payload);
+  }
+  EXPECT_TRUE(frames.idle());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].first, 1);
+  EXPECT_EQ(out[0].second, "hello");
+  EXPECT_EQ(out[1].second, std::string("\0\x7f payload", 10));
+  EXPECT_EQ(out[2].first, 3);
+  EXPECT_TRUE(out[2].second.empty());
+}
+
+TEST(FrameAssembler, PartialFrameIsNotIdle) {
+  std::string wire;
+  append_frame(wire, 1, "abc");
+  FrameAssembler frames;
+  frames.feed(wire.data(), wire.size() - 1);  // checksum byte in flight
+  std::uint8_t type = 0;
+  std::string payload;
+  EXPECT_FALSE(frames.next(type, payload));
+  EXPECT_FALSE(frames.idle());  // how EOF here is diagnosed as truncation
+  EXPECT_EQ(frames.buffered(), wire.size() - 1);
+}
+
+TEST(FrameAssembler, RejectsCorruptFrames) {
+  std::string wire;
+  append_frame(wire, 1, "abc");
+  wire.back() ^= 0x01;  // tamper with the checksum
+  FrameAssembler frames;
+  frames.feed(wire.data(), wire.size());
+  std::uint8_t type = 0;
+  std::string payload;
+  EXPECT_THROW(frames.next(type, payload), BinaryIoError);
+}
+
+TEST(FrameAssembler, RejectsRunawayLengthFields) {
+  // Garbage on the pipe (a worker printing text, say) decodes as an
+  // absurd length field — that must throw, not allocate gigabytes.
+  const std::string garbage = "--shard 0/2 --shard-pipe\n";
+  FrameAssembler frames;
+  frames.feed(garbage.data(), garbage.size());
+  std::uint8_t type = 0;
+  std::string payload;
+  EXPECT_THROW(frames.next(type, payload), BinaryIoError);
+}
+
+// --- Shard execution and trace merge ----------------------------------------
+
+TEST(SweepShard, ShardRowsReassembleTheUnshardedReport) {
+  const SweepConfig config = tiny_sweep();
+  const std::vector<SweepRow> whole = run_sweep(config);
+
+  std::vector<SweepRow> merged;
+  for (std::size_t shard = 0; shard < 2; ++shard)
+    for (SweepRow& row : run_sweep_shard(config, shard, 2))
+      merged.push_back(std::move(row));
+  std::sort(merged.begin(), merged.end(),
+            [](const SweepRow& a, const SweepRow& b) {
+              return a.point.index < b.point.index;
+            });
+
+  ASSERT_EQ(merged.size(), whole.size());
+  EXPECT_EQ(sweep_csv(config, merged), sweep_csv(config, whole));
+  EXPECT_EQ(sweep_json(config, merged), sweep_json(config, whole));
+}
+
+// Runs `config` (optionally one shard of it) with a trace sink attached
+// and returns the stream bytes.
+std::string traced_run(SweepConfig config, std::size_t shard,
+                       std::size_t shards) {
+  std::ostringstream out;
+  OrderedTraceSink sink(out);
+  config.trace_sink = &sink;
+  (void)run_sweep_shard(config, shard, shards);
+  sink.finish();
+  return out.str();
+}
+
+TEST(SweepShard, MergedShardTracesAreByteIdenticalToUnsharded) {
+  const SweepConfig config = tiny_sweep();
+  const std::string whole = traced_run(config, 0, 1);
+  const std::string shard0 = traced_run(config, 0, 2);
+  const std::string shard1 = traced_run(config, 1, 2);
+  ASSERT_FALSE(whole.empty());
+
+  // Each shard stream is a valid seo-trace sorted by grid point, carrying
+  // the *run's* digest (not a shard-local one) — the merge key.
+  std::istringstream scan0(shard0);
+  TraceEpisodeScanner scanner(scan0);
+  std::uint32_t point = 0;
+  std::string bytes;
+  std::vector<std::uint32_t> points;  // one entry per episode
+  while (scanner.next(point, bytes)) points.push_back(point);
+  const SweepPlan plan = plan_sweep(config);
+  EXPECT_EQ(scanner.run_digest(), plan.run_digest);
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const auto owned = plan.shard_points(0, 2);
+  EXPECT_EQ(points, std::vector<std::uint32_t>(owned.begin(), owned.end()));
+
+  // Order must not matter to the merge result.
+  for (const bool swap : {false, true}) {
+    std::istringstream a(swap ? shard1 : shard0);
+    std::istringstream b(swap ? shard0 : shard1);
+    std::ostringstream merged;
+    merge_trace_streams({&a, &b}, merged);
+    EXPECT_EQ(merged.str(), whole) << "swap=" << swap;
+  }
+}
+
+TEST(SweepShard, MergeRejectsOverlappingShards) {
+  const std::string shard0 = traced_run(tiny_sweep(), 0, 2);
+  std::istringstream a(shard0);
+  std::istringstream b(shard0);
+  std::ostringstream merged;
+  EXPECT_THROW(merge_trace_streams({&a, &b}, merged), ContractViolation);
+}
+
+TEST(SweepShard, MergeRejectsShardsOfDifferentRuns) {
+  SweepConfig other = tiny_sweep();
+  other.axes[0].values = {"8", "12"};
+  const std::string ours = traced_run(tiny_sweep(), 0, 2);
+  const std::string theirs = traced_run(other, 1, 2);
+  std::istringstream a(ours);
+  std::istringstream b(theirs);
+  std::ostringstream merged;
+  EXPECT_THROW(merge_trace_streams({&a, &b}, merged), ContractViolation);
+}
+
+// --- Worker-farm failure taxonomy -------------------------------------------
+
+TEST(SweepWorkers, WorkerDyingBeforeItsDoneFrameFailsTheSweep) {
+  // /bin/true exits 0 without ever writing a frame: EOF before the done
+  // frame is the crash signature and must fail the whole sweep.
+  const SweepPlan plan = plan_sweep(tiny_sweep());
+  EXPECT_THROW(run_sweep_workers(plan, "/bin/true", {}, 2, nullptr),
+               std::runtime_error);
+}
+
+TEST(SweepWorkers, WorkerWritingGarbageFailsTheSweep) {
+  // /bin/echo prints its argv to the pipe — valid text, corrupt frames.
+  const SweepPlan plan = plan_sweep(tiny_sweep());
+  EXPECT_THROW(run_sweep_workers(plan, "/bin/echo", {}, 2, nullptr),
+               std::runtime_error);
+}
+
+#ifdef SEO_SWEEP_TOOL
+
+TEST(SweepWorkers, FarmMatchesInProcessRunBitForBit) {
+  const SweepConfig config = tiny_sweep();
+  const SweepPlan plan = plan_sweep(config);
+  const std::vector<SweepRow> rows = run_sweep(config);
+  const std::string whole = traced_run(config, 0, 1);
+
+  std::vector<std::string> worker_args = tiny_sweep_args();
+  worker_args.insert(worker_args.end(), {"--threads", "1"});
+  std::ostringstream stream;
+  OrderedTraceSink sink(stream);
+  const SweepWorkersResult farm =
+      run_sweep_workers(plan, SEO_SWEEP_TOOL, worker_args, 2, &sink);
+  sink.finish();
+
+  EXPECT_EQ(farm.metrics, sweep_metric_rows(rows));
+  EXPECT_EQ(stream.str(), whole);
+  // The farm's summed stats must cover the workers' table builds: two
+  // single-threaded workers, at least one build or disk load each.
+  std::uint64_t activity = 0;
+  for (const ArtifactKindStats& row : farm.stats)
+    activity += row.stats.builds + row.stats.disk_loads + row.stats.hits;
+  EXPECT_GT(activity, 0u);
+}
+
+// The acceptance matrix: report and trace bytes out of `sweep` must be
+// identical at every --workers x --threads combination.
+TEST(SweepWorkers, CliByteIdentityAcrossWorkerAndThreadCounts) {
+  const std::string dir = ::testing::TempDir();
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "missing " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+
+  std::string base_args = std::string(SEO_SWEEP_TOOL);
+  for (const std::string& arg : tiny_sweep_args()) base_args += " " + arg;
+
+  std::string reference_csv;
+  std::string reference_trace;
+  for (const int workers : {1, 2, 4}) {
+    for (const int threads : {1, 2, 0}) {
+      const std::string tag = "w" + std::to_string(workers) + "t" +
+                              std::to_string(threads);
+      const std::string csv = dir + "/sweep_" + tag + ".csv";
+      const std::string trace = dir + "/sweep_" + tag + ".trace";
+      const std::string cmd =
+          base_args + " --threads " + std::to_string(threads) +
+          " --workers " + std::to_string(workers) + " --output " + csv +
+          " --trace-out " + trace + " 2>/dev/null";
+      ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+      if (reference_csv.empty()) {
+        reference_csv = slurp(csv);
+        reference_trace = slurp(trace);
+        ASSERT_FALSE(reference_csv.empty());
+        ASSERT_FALSE(reference_trace.empty());
+      } else {
+        EXPECT_EQ(slurp(csv), reference_csv) << tag;
+        EXPECT_EQ(slurp(trace), reference_trace) << tag;
+      }
+    }
+  }
+}
+
+#endif  // SEO_SWEEP_TOOL
+
+}  // namespace
+}  // namespace seo

@@ -28,7 +28,10 @@ Scaling gate: besides absolute regressions, the gate asserts that episode
 throughput actually scales — the threads:8 variants of the threaded
 benchmarks must run in at most a fixed fraction of their threads:1 real
 time (default: 0.6x for BM_ExperimentBatch, 0.75x for
-BM_DeadlineTableBuild).  The ratio is taken WITHIN the fresh file, so it
+BM_DeadlineTableBuild), and the distributed sweep's workers:4 arm must
+run in at most 0.6x of workers:1 (BM_SweepWorkers, which carries a
+/real_time name suffix from UseRealTime).  The ratio is taken WITHIN the
+fresh file, so it
 is machine-independent; it is only meaningful on a multicore host, so the
 assertion is skipped (with a note) when the fresh run's machine has fewer
 than --min-scaling-cpus CPUs (default 4 — the committed baseline from a
@@ -63,6 +66,8 @@ DEFAULT_SCALING = [
     ("BM_ExperimentBatch/threads:8", "BM_ExperimentBatch/threads:1", 0.60),
     ("BM_DeadlineTableBuild/threads:8", "BM_DeadlineTableBuild/threads:1",
      0.75),
+    ("BM_SweepWorkers/workers:4/real_time",
+     "BM_SweepWorkers/workers:1/real_time", 0.60),
 ]
 
 UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

@@ -1,6 +1,6 @@
 // seo-lint — the determinism static-analysis gate (src/lint).
 //
-// Walks src/ tools/ tests/ bench/ under --root (default: the current
+// Walks src/ tools/ tests/ bench/ examples/ under --root (default: the current
 // directory), lexes every C++ file and applies the determinism rule table.
 // Findings print as `file:line: rule: message` (or a JSON array with
 // --json); the exit status gates CI: 0 clean, 1 findings, 2 usage or I/O
@@ -29,7 +29,7 @@ constexpr const char* kUsage =
     "identical sweep/fleet/trace/artifact output at any thread count, on\n"
     "any host, under any locale.\n"
     "\n"
-    "With no paths, walks src/ tools/ tests/ bench/ under --root,\n"
+    "With no paths, walks src/ tools/ tests/ bench/ examples/ under --root,\n"
     "skipping the lint_fixtures corpus.  Paths may be files or\n"
     "directories and are linted relative to --root when inside it.\n"
     "\n"
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
   std::vector<fs::path> files;
   if (inputs.empty()) {
     // The canonical tree: every directory the determinism contract covers.
-    for (const char* dir : {"src", "tools", "tests", "bench"}) {
+    for (const char* dir : {"src", "tools", "tests", "bench", "examples"}) {
       const fs::path sub = root / dir;
       std::error_code ec;
       if (fs::is_directory(sub, ec))
@@ -150,7 +150,7 @@ int main(int argc, char** argv) {
     }
     if (files.empty()) {
       std::cerr << "seo-lint: nothing to lint under " << root
-                << " (no src/ tools/ tests/ bench/)\n";
+                << " (no src/ tools/ tests/ bench/ examples/)\n";
       return 2;
     }
   } else {

@@ -1,0 +1,107 @@
+// `trace-merge` — deterministically recombines shard trace files into the
+// single stream an unsharded run would have written.
+//
+//   sweep --smoke --shard 0/2 --trace-out shard0.trace   # host A
+//   sweep --smoke --shard 1/2 --trace-out shard1.trace   # host B
+//   trace-merge shard0.trace shard1.trace -o full.trace
+//
+// Inputs must be shards of the same run (equal run_digest) with disjoint
+// grid points, each sorted by grid-point index — exactly what
+// `sweep --shard i/N --trace-out` produces.  The merge is a streaming
+// k-way merge of validated whole-episode byte spans, so the output is
+// byte-identical to the unsharded run's stream and pipes straight into
+// the other stage tools (trace-export, trace-energy-report, ...).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+int usage(int code) {
+  std::ostream& out = code == 0 ? std::cout : std::cerr;
+  out << "usage: trace-merge [options] SHARD.trace [SHARD.trace ...]\n"
+         "  -o, --output PATH      write the merged stream to PATH "
+         "(default stdout)\n"
+         "\n"
+         "Merges seo-trace shard files (from `sweep --shard i/N "
+         "--trace-out`) into\n"
+         "one stream, byte-identical to the unsharded run: episodes are "
+         "reordered\n"
+         "by grid-point index and re-emitted verbatim.  Inputs must share "
+         "one\n"
+         "run_digest and cover disjoint grid points; anything else is "
+         "rejected.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(0);
+    if (arg == "-o" || arg == "--output") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return usage(2);
+      }
+      output = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(2);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "trace-merge needs at least one shard file\n";
+    return usage(2);
+  }
+
+  std::vector<std::ifstream> files;
+  files.reserve(inputs.size());
+  std::vector<std::istream*> streams;
+  streams.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    files.emplace_back(path, std::ios::binary);
+    if (!files.back()) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    streams.push_back(&files.back());
+  }
+
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!output.empty()) {
+    out_file.open(output, std::ios::binary | std::ios::trunc);
+    if (!out_file) {
+      std::cerr << "cannot open " << output << " for writing\n";
+      return 1;
+    }
+    out = &out_file;
+  }
+
+  try {
+    seo::merge_trace_streams(streams, *out);
+  } catch (const seo::TraceStreamError& e) {
+    std::cerr << "trace-merge: damaged input: " << e.what() << "\n";
+    return 1;
+  } catch (const seo::ContractViolation& e) {
+    std::cerr << "trace-merge: " << e.what() << "\n";
+    return 2;
+  }
+  if (!*out) {
+    std::cerr << "trace-merge: write failed\n";
+    return 1;
+  }
+  std::cerr << "merged " << inputs.size() << " shard streams"
+            << (output.empty() ? "" : " into " + output) << "\n";
+  return 0;
+}
